@@ -1,0 +1,171 @@
+package decent
+
+// One benchmark per experiment (E01–E17): each regenerates its paper
+// claim's table/figure at a reduced scale and reports the experiment's key
+// metric alongside ns/op. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The absolute wall-clock numbers describe the simulator, not the paper's
+// testbeds; the reported custom metrics (tps, stale-rate, latency…) are the
+// reproduced quantities.
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// benchScale keeps a full -bench=. sweep around a minute on a laptop while
+// leaving every shape check meaningful.
+const benchScale = 0.25
+
+// runExperiment drives one experiment per iteration, varying the seed so
+// iterations are independent, and fails the benchmark if any shape check
+// regresses.
+func runExperiment(b *testing.B, id string, metric func(*core.Result) (string, float64)) {
+	b.Helper()
+	reg, err := Experiments()
+	if err != nil {
+		b.Fatalf("registry: %v", err)
+	}
+	var last *core.Result
+	for i := 0; i < b.N; i++ {
+		res, err := reg.Run(id, Config{Seed: int64(i + 1), Scale: benchScale})
+		if err != nil {
+			b.Fatalf("run %s: %v", id, err)
+		}
+		last = res
+	}
+	if last == nil {
+		return
+	}
+	for _, c := range last.Checks {
+		if !c.OK {
+			b.Fatalf("%s shape check %q failed: %s", id, c.Name, c.Detail)
+		}
+	}
+	if metric != nil {
+		name, v := metric(last)
+		b.ReportMetric(v, name)
+	}
+}
+
+// cell parses a numeric cell from a result table.
+func cell(r *core.Result, table, row, col int) float64 {
+	if table >= len(r.Tables) {
+		return 0
+	}
+	t := r.Tables[table]
+	if row >= len(t.Rows) || col >= len(t.Rows[row]) {
+		return 0
+	}
+	v, err := strconv.ParseFloat(t.Rows[row][col], 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func BenchmarkE01MarketConcentration(b *testing.B) {
+	runExperiment(b, "E01", func(r *core.Result) (string, float64) {
+		return "cdn-top3", cell(r, 0, 0, 3)
+	})
+}
+
+func BenchmarkE02FreeRiding(b *testing.B) {
+	runExperiment(b, "E02", func(r *core.Result) (string, float64) {
+		return "top1pct-upload-share", cell(r, 0, 1, 1)
+	})
+}
+
+func BenchmarkE03DHTLookupLatency(b *testing.B) {
+	runExperiment(b, "E03", func(r *core.Result) (string, float64) {
+		return "mdht-median-s", cell(r, 0, 1, 1)
+	})
+}
+
+func BenchmarkE04SybilAttack(b *testing.B) {
+	runExperiment(b, "E04", func(r *core.Result) (string, float64) {
+		return "eclipse-rate", cell(r, 1, 0, 1)
+	})
+}
+
+func BenchmarkE05OneHopVsMultiHop(b *testing.B) {
+	runExperiment(b, "E05", func(r *core.Result) (string, float64) {
+		return "chord-mean-hops", cell(r, 0, 0, 1)
+	})
+}
+
+func BenchmarkE06ThroughputGap(b *testing.B) {
+	runExperiment(b, "E06", func(r *core.Result) (string, float64) {
+		return "btc-sim-tps", cell(r, 0, 3, 2)
+	})
+}
+
+func BenchmarkE07DifficultyAdjust(b *testing.B) {
+	runExperiment(b, "E07", nil)
+}
+
+func BenchmarkE08ForkRateTrilemma(b *testing.B) {
+	runExperiment(b, "E08", func(r *core.Result) (string, float64) {
+		return "stale-rate-12s", cell(r, 0, 2, 2)
+	})
+}
+
+func BenchmarkE09SelfishMining(b *testing.B) {
+	runExperiment(b, "E09", nil)
+}
+
+func BenchmarkE10MiningCentralization(b *testing.B) {
+	runExperiment(b, "E10", func(r *core.Result) (string, float64) {
+		return "top6-pool-share", cell(r, 1, 0, 1)
+	})
+}
+
+func BenchmarkE11EnergyConsumption(b *testing.B) {
+	runExperiment(b, "E11", func(r *core.Result) (string, float64) {
+		return "TWh-per-year", cell(r, 0, 1, 2)
+	})
+}
+
+func BenchmarkE12NodeResourceGrowth(b *testing.B) {
+	runExperiment(b, "E12", func(r *core.Result) (string, float64) {
+		return "fullnode-frac-10y", cell(r, 0, 0, 3)
+	})
+}
+
+func BenchmarkE13PermissionedVsPoW(b *testing.B) {
+	runExperiment(b, "E13", func(r *core.Result) (string, float64) {
+		return "pbft4-tps", cell(r, 0, 0, 3)
+	})
+}
+
+func BenchmarkE14EdgeVsCloud(b *testing.B) {
+	runExperiment(b, "E14", func(r *core.Result) (string, float64) {
+		return "edge-median-ms", cell(r, 0, 0, 1)
+	})
+}
+
+func BenchmarkE15ChurnImpact(b *testing.B) {
+	runExperiment(b, "E15", func(r *core.Result) (string, float64) {
+		return "churned-median-s", cell(r, 0, 2, 3)
+	})
+}
+
+func BenchmarkE16ChannelScaling(b *testing.B) {
+	runExperiment(b, "E16", func(r *core.Result) (string, float64) {
+		return "per-peer-envelopes", cell(r, 0, 0, 2)
+	})
+}
+
+func BenchmarkE17DoubleSpend(b *testing.B) {
+	runExperiment(b, "E17", nil)
+}
+
+func BenchmarkE18OffChainChannels(b *testing.B) {
+	runExperiment(b, "E18", func(r *core.Result) (string, float64) {
+		return "hub-top3-share", cell(r, 0, 0, 3)
+	})
+}

@@ -1,0 +1,87 @@
+// Command decentsim runs the paper-reproduction experiments.
+//
+// Usage:
+//
+//	decentsim list                 # show all experiments
+//	decentsim run E06 E13          # run specific experiments
+//	decentsim run all              # run everything
+//	decentsim -seed 7 -scale 0.5 run E03
+//	decentsim -csv run E06         # emit tables as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	decent "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "decentsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("decentsim", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "master random seed")
+	scale := fs.Float64("scale", 1, "workload scale factor (smaller = faster)")
+	csv := fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fs.Usage()
+		return fmt.Errorf("expected a command: list | run <ids|all>")
+	}
+	reg, err := decent.Experiments()
+	if err != nil {
+		return err
+	}
+	switch rest[0] {
+	case "list":
+		for _, e := range reg.All() {
+			fmt.Printf("%-5s %s\n      %s\n", e.ID(), e.Title(), e.Claim())
+		}
+		return nil
+	case "run":
+		ids := rest[1:]
+		if len(ids) == 0 {
+			return fmt.Errorf("run requires experiment ids or 'all'")
+		}
+		if len(ids) == 1 && strings.EqualFold(ids[0], "all") {
+			ids = ids[:0]
+			for _, e := range reg.All() {
+				ids = append(ids, e.ID())
+			}
+		}
+		cfg := decent.Config{Seed: *seed, Scale: *scale}
+		failures := 0
+		for _, id := range ids {
+			res, err := reg.Run(id, cfg)
+			if err != nil {
+				return fmt.Errorf("run %s: %w", id, err)
+			}
+			if *csv {
+				for _, t := range res.Tables {
+					fmt.Println(t.CSV())
+				}
+			} else {
+				fmt.Println(res)
+			}
+			if !res.Reproduced() {
+				failures++
+			}
+		}
+		if failures > 0 {
+			return fmt.Errorf("%d experiment(s) failed their shape checks", failures)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (want list | run)", rest[0])
+	}
+}

@@ -1,0 +1,55 @@
+// Package decent is the public API of the reproduction of "Please, do not
+// decentralize the Internet with (permissionless) blockchains!" (Garcia
+// Lopez, Montresor, Datta — ICDCS 2019).
+//
+// The paper is a position paper: its evaluation is a set of quantitative
+// claims about open peer-to-peer systems, permissionless blockchains, and
+// their permissioned/edge alternatives. This library rebuilds every system
+// those claims rest on — Kademlia/Chord/one-hop/Gnutella overlays, gossip,
+// churn and sybil attack models, a proof-of-work blockchain with its mining
+// economy, PBFT/Raft and a Fabric-style permissioned stack, and an edge
+// placement model — and regenerates each claim as an experiment with a shape
+// verdict.
+//
+// Quick start:
+//
+//	reg, _ := decent.Experiments()
+//	res, _ := reg.Run("E06", decent.Config{Seed: 1})
+//	fmt.Println(res)
+//
+// See DESIGN.md for the experiment index and EXPERIMENTS.md for measured
+// results.
+package decent
+
+import (
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// Config controls an experiment run. It is re-exported from the core
+// framework: Seed pins determinism, Scale trades fidelity for speed.
+type Config = core.Config
+
+// Result is an experiment outcome: regenerated tables/figures plus shape
+// checks.
+type Result = core.Result
+
+// Experiment is one reproducible paper claim.
+type Experiment = core.Experiment
+
+// Registry holds the paper's experiments.
+type Registry = core.Registry
+
+// Experiments returns the full registry (E01–E17) in paper order.
+func Experiments() (*Registry, error) {
+	return experiments.Registry()
+}
+
+// Run executes a single experiment by id with the given configuration.
+func Run(id string, cfg Config) (*Result, error) {
+	reg, err := experiments.Registry()
+	if err != nil {
+		return nil, err
+	}
+	return reg.Run(id, cfg)
+}

@@ -1,0 +1,37 @@
+package decent
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestExperimentsRegistry(t *testing.T) {
+	reg, err := Experiments()
+	if err != nil {
+		t.Fatalf("Experiments: %v", err)
+	}
+	if len(reg.All()) != 18 {
+		t.Fatalf("registry size = %d, want 18", len(reg.All()))
+	}
+}
+
+func TestRunByID(t *testing.T) {
+	res, err := Run("E11", Config{Seed: 3})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.ID != "E11" {
+		t.Fatalf("result id = %q", res.ID)
+	}
+	if !res.Reproduced() {
+		t.Fatalf("E11 failed its shape checks:\n%s", res)
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("E99", Config{}); !errors.Is(err, core.ErrUnknownExperiment) {
+		t.Fatalf("unknown id error = %v", err)
+	}
+}

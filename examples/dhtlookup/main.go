@@ -1,0 +1,77 @@
+// Dhtlookup reproduces the Jiménez et al. measurement interactively: the
+// same Kademlia protocol under eMule-KAD-like and BitTorrent-Mainline-like
+// deployment parameters, showing why one resolves in seconds and the other
+// in minutes.
+//
+//	go run ./examples/dhtlookup
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/metrics"
+	"repro/internal/netmodel"
+	"repro/internal/overlay"
+	"repro/internal/overlay/kademlia"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dhtlookup:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		nodes   = 2000
+		lookups = 200
+	)
+	type deployment struct {
+		name string
+		cfg  kademlia.Config
+	}
+	fmt.Printf("iterative Kademlia lookups, %d nodes, %d lookups per deployment\n\n", nodes, lookups)
+	for _, d := range []deployment{
+		{"eMule KAD-like (responsive peers, tight timeouts)", kademlia.KADConfig()},
+		{"BitTorrent MDHT-like (NATed peers, long timeouts)", kademlia.MDHTConfig()},
+	} {
+		s := sim.New(sim.WithSeed(99))
+		nm := netmodel.New(s, netmodel.WithJitter(0.2))
+		nw := kademlia.NewNetwork(s, nm, d.cfg)
+		for i := 0; i < nodes; i++ {
+			nw.AddNode(netmodel.Europe)
+		}
+		if err := nw.Bootstrap(); err != nil {
+			return err
+		}
+		g := s.Stream("example")
+		var latency, rpcs, timeouts metrics.Sample
+		for i := 0; i < lookups; i++ {
+			var origin *kademlia.Node
+			for origin == nil || !origin.Responsive() {
+				origin = nw.Nodes()[g.Intn(nodes)]
+			}
+			nw.Lookup(origin, overlay.RandomID(g), func(res kademlia.Result) {
+				latency.AddDuration(res.Latency)
+				rpcs.Add(float64(res.RPCs))
+				timeouts.Add(float64(res.Timeouts))
+			})
+		}
+		if err := s.Run(); err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", d.name)
+		fmt.Printf("  unresponsive peers: %2.0f%%   rpc timeout: %v   parallelism: %d\n",
+			d.cfg.UnresponsiveFrac*100, d.cfg.RPCTimeout, d.cfg.Alpha)
+		fmt.Printf("  latency: median %6.1fs   p90 %6.1fs   (paper: KAD <=5s at p90, MDHT ~60s median)\n",
+			latency.Median(), latency.Percentile(90))
+		fmt.Printf("  cost:    %4.1f RPCs/lookup, %4.1f timeouts/lookup\n\n",
+			rpcs.Mean(), timeouts.Mean())
+	}
+	fmt.Println("same protocol, same network — the deployment hygiene (NAT, timeout policy)")
+	fmt.Println("is what made open DHTs unusable as a general-purpose substrate (paper §II).")
+	return nil
+}

@@ -1,0 +1,36 @@
+// Quickstart: run the paper's headline experiments and print the
+// regenerated tables with their shape verdicts.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	decent "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// E06: the throughput gap (VISA vs Bitcoin vs Ethereum) and E13: the
+	// permissioned alternative — the two poles of the paper's argument.
+	for _, id := range []string{"E06", "E13"} {
+		res, err := decent.Run(id, decent.Config{Seed: 1})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		if !res.Reproduced() {
+			return fmt.Errorf("%s did not reproduce the paper's shape", id)
+		}
+	}
+	fmt.Println("Both claims reproduced. Run `go run ./cmd/decentsim run all` for the full set.")
+	return nil
+}

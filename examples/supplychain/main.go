@@ -1,0 +1,131 @@
+// Supplychain demonstrates the paper's §V-A use case: a consortium of
+// mutually distrusting organizations (grower, shipper, retailer, customs)
+// tracking goods provenance on a permissioned channel — no proof-of-work,
+// no global broadcast, authenticated members, finality in under a second.
+//
+//	go run ./examples/supplychain
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/netmodel"
+	"repro/internal/permissioned"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "supplychain:", err)
+		os.Exit(1)
+	}
+}
+
+// trackCC appends a custody event to a shipment's provenance trail.
+func trackCC(stub *permissioned.Stub, args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: track <shipment> <event>, got %d args", len(args))
+	}
+	key := "shipment:" + args[0]
+	prev, err := stub.GetState(key)
+	if err != nil {
+		return err
+	}
+	trail := string(prev)
+	if trail != "" {
+		trail += " -> "
+	}
+	trail += args[1]
+	return stub.PutState(key, []byte(trail))
+}
+
+func run() error {
+	s := sim.New(sim.WithSeed(2026))
+	nm := netmodel.New(s, netmodel.WithJitter(0.1))
+	nw, err := permissioned.NewNetwork(s, nm, permissioned.Config{BlockSize: 5})
+	if err != nil {
+		return err
+	}
+	consortium := []struct {
+		name   string
+		region netmodel.Region
+	}{
+		{"grower-cl", netmodel.SouthAmerica},
+		{"shipper-pa", netmodel.NorthAmerica},
+		{"customs-nl", netmodel.Europe},
+		{"retailer-de", netmodel.Europe},
+	}
+	members := make([]string, 0, len(consortium))
+	for _, org := range consortium {
+		if _, err := nw.AddOrg(org.name, org.region); err != nil {
+			return err
+		}
+		members = append(members, org.name)
+	}
+	// Two organizations must endorse every custody event.
+	if _, err := nw.CreateChannel("provenance", members, permissioned.Policy{Required: 2}); err != nil {
+		return err
+	}
+	if err := nw.InstallChaincode("provenance", "track", trackCC); err != nil {
+		return err
+	}
+	if err := nw.Start(); err != nil {
+		return err
+	}
+
+	type step struct {
+		org, event string
+	}
+	journey := []step{
+		{"grower-cl", "harvested lot 7311 (Valparaíso)"},
+		{"shipper-pa", "loaded on MV Andina, reefer 4C"},
+		{"customs-nl", "cleared import, Rotterdam"},
+		{"retailer-de", "received at DC Hamburg"},
+	}
+	fmt.Println("submitting custody events across the consortium...")
+	var latencies []time.Duration
+	// Space the submissions out; the Raft orderer needs a few hundred ms
+	// to elect its first leader.
+	for i, st := range journey {
+		st := st
+		s.At(time.Duration(i+2)*time.Second, func() {
+			err := nw.Submit("provenance", st.org, "track", []string{"7311", st.event},
+				func(res permissioned.TxResult) {
+					status := "INVALID"
+					if res.Valid {
+						status = "committed"
+					}
+					latencies = append(latencies, res.Latency)
+					fmt.Printf("  [%s] %-12s %-40q block=%d latency=%v\n",
+						status, st.org, st.event, res.Block, res.Latency.Round(time.Millisecond))
+				})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "submit:", err)
+			}
+		})
+	}
+	if err := s.RunUntil(30 * time.Second); err != nil {
+		return err
+	}
+
+	ch, _ := nw.Channel("provenance")
+	trail, _ := ch.State().Get("shipment:7311")
+	fmt.Println("\nprovenance trail for lot 7311:")
+	for _, hop := range strings.Split(string(trail), " -> ") {
+		fmt.Println("  *", hop)
+	}
+	fmt.Printf("\nchannel height: %d blocks, %d committed / %d invalid transactions\n",
+		ch.Height(), ch.Committed(), ch.Invalid())
+	var sum time.Duration
+	for _, l := range latencies {
+		sum += l
+	}
+	if len(latencies) > 0 {
+		fmt.Printf("mean commit latency: %v — versus ~60 minutes for 6 Bitcoin confirmations\n",
+			(sum / time.Duration(len(latencies))).Round(time.Millisecond))
+	}
+	return nil
+}

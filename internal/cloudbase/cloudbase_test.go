@@ -1,0 +1,106 @@
+package cloudbase
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestValidation(t *testing.T) {
+	s := sim.New()
+	if _, err := NewCluster(s, Config{Shards: 0}); err == nil {
+		t.Fatal("zero shards should error")
+	}
+	if _, err := NewCluster(s, Config{Shards: 4, CrossShardFrac: 2}); err == nil {
+		t.Fatal("bad cross-shard fraction should error")
+	}
+	c, err := NewCluster(s, Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(0, time.Second); err == nil {
+		t.Fatal("zero rate should error")
+	}
+}
+
+func TestCapacityScalesWithShards(t *testing.T) {
+	small := Config{Shards: 4, ServiceTime: time.Millisecond}
+	big := Config{Shards: 64, ServiceTime: time.Millisecond}
+	if big.CapacityTPS() != 16*small.CapacityTPS() {
+		t.Fatalf("capacity should scale linearly: %v vs %v", small.CapacityTPS(), big.CapacityTPS())
+	}
+	// 64 shards at 1ms service: 64k tps ceiling, comfortably above VISA's
+	// 24k — the cloud side of E6.
+	if big.CapacityTPS() < 24_000 {
+		t.Fatalf("64-shard capacity = %v, want >= 24000", big.CapacityTPS())
+	}
+}
+
+func TestUnderloadLowLatency(t *testing.T) {
+	s := sim.New(sim.WithSeed(1))
+	c, err := NewCluster(s, Config{Shards: 64, ServiceTime: time.Millisecond, CrossShardFrac: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Run(24_000, 10*time.Second)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if float64(st.Completed) < 0.99*float64(st.Offered) {
+		t.Fatalf("completed %d of %d offered", st.Completed, st.Offered)
+	}
+	if st.TPS < 20_000 {
+		t.Fatalf("TPS = %v, want ~24000", st.TPS)
+	}
+	if st.P99 > 100*time.Millisecond {
+		t.Fatalf("P99 = %v, want low-latency under 50%% load", st.P99)
+	}
+}
+
+func TestOverloadSaturates(t *testing.T) {
+	s := sim.New(sim.WithSeed(2))
+	cfg := Config{Shards: 8, ServiceTime: time.Millisecond, CrossShardFrac: 0.1}
+	c, err := NewCluster(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offer 3x capacity.
+	st, err := c.Run(3*cfg.CapacityTPS(), 5*time.Second)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Throughput is pinned near capacity and latency blows up.
+	if st.TPS > 1.3*cfg.CapacityTPS() {
+		t.Fatalf("TPS %v exceeds capacity %v", st.TPS, cfg.CapacityTPS())
+	}
+	if st.P99 < 100*time.Millisecond {
+		t.Fatalf("P99 = %v, want queueing blow-up under overload", st.P99)
+	}
+	if st.MeanQueue < 10 {
+		t.Fatalf("MeanQueue = %v, want a deep backlog", st.MeanQueue)
+	}
+}
+
+func TestCrossShardCostsCapacity(t *testing.T) {
+	none := Config{Shards: 16, ServiceTime: time.Millisecond, CrossShardFrac: 0}
+	half := Config{Shards: 16, ServiceTime: time.Millisecond, CrossShardFrac: 0.5}
+	if none.CapacityTPS() <= half.CapacityTPS() {
+		t.Fatal("cross-shard transactions must reduce capacity")
+	}
+}
+
+func TestSingleShardDegenerate(t *testing.T) {
+	s := sim.New(sim.WithSeed(3))
+	c, err := NewCluster(s, Config{Shards: 1, ServiceTime: time.Millisecond, CrossShardFrac: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Run(100, time.Second)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if st.Completed == 0 {
+		t.Fatal("single-shard cluster processed nothing")
+	}
+}

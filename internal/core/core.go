@@ -1,0 +1,174 @@
+// Package core is the reproduction framework — the paper's argument turned
+// into checkable artifacts. Each Experiment corresponds to one quantitative
+// claim from the paper, runs the relevant simulated systems, emits the
+// table/figure the claim corresponds to, and issues a shape verdict: does
+// the simulation reproduce who wins, by roughly what factor, and where the
+// crossover lies?
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Seed is the master seed; equal seeds give identical results.
+	Seed int64
+	// Scale multiplies workload sizes (1 = the documented default;
+	// smaller values run faster for smoke tests and benchmarks).
+	Scale float64
+}
+
+// WithDefaults fills zero fields.
+func (c Config) WithDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	return c
+}
+
+// ScaleInt scales a workload size, keeping a floor of 1.
+func (c Config) ScaleInt(n int) int {
+	v := int(float64(n) * c.Scale)
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// Check is one verified aspect of a claim's shape.
+type Check struct {
+	// Name describes what was checked.
+	Name string
+	// OK reports whether the shape held.
+	OK bool
+	// Detail carries the measured numbers.
+	Detail string
+}
+
+// Result is an experiment's output.
+type Result struct {
+	// ID is the experiment identifier (e.g. "E06").
+	ID string
+	// Title is a short human name.
+	Title string
+	// Claim quotes the paper claim being reproduced.
+	Claim string
+	// Tables and Figures carry the regenerated artifacts.
+	Tables  []*metrics.Table
+	Figures []*metrics.Figure
+	// Checks are the shape verdicts.
+	Checks []Check
+}
+
+// AddCheck appends a shape verdict.
+func (r *Result) AddCheck(ok bool, name, format string, args ...any) {
+	r.Checks = append(r.Checks, Check{
+		Name:   name,
+		OK:     ok,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// Reproduced reports whether every shape check held.
+func (r *Result) Reproduced() bool {
+	if len(r.Checks) == 0 {
+		return false
+	}
+	for _, c := range r.Checks {
+		if !c.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the full result.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	fmt.Fprintf(&b, "claim: %s\n\n", r.Claim)
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	for _, f := range r.Figures {
+		b.WriteString(f.Render(60, 12))
+		b.WriteByte('\n')
+	}
+	for _, c := range r.Checks {
+		mark := "PASS"
+		if !c.OK {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "[%s] %s: %s\n", mark, c.Name, c.Detail)
+	}
+	return b.String()
+}
+
+// Experiment reproduces one paper claim.
+type Experiment interface {
+	// ID returns the experiment identifier ("E01".."E17").
+	ID() string
+	// Title returns a short name.
+	Title() string
+	// Claim quotes the claim (with paper section).
+	Claim() string
+	// Run executes the experiment.
+	Run(cfg Config) (*Result, error)
+}
+
+// ErrUnknownExperiment is returned when an id does not resolve.
+var ErrUnknownExperiment = errors.New("core: unknown experiment")
+
+// Registry holds a set of experiments in declaration order.
+type Registry struct {
+	exps []Experiment
+	byID map[string]Experiment
+}
+
+// NewRegistry builds a registry, rejecting duplicate ids.
+func NewRegistry(exps ...Experiment) (*Registry, error) {
+	r := &Registry{byID: make(map[string]Experiment, len(exps))}
+	for _, e := range exps {
+		id := strings.ToUpper(e.ID())
+		if _, dup := r.byID[id]; dup {
+			return nil, fmt.Errorf("core: duplicate experiment id %q", id)
+		}
+		r.byID[id] = e
+		r.exps = append(r.exps, e)
+	}
+	return r, nil
+}
+
+// All returns the experiments in declaration order.
+func (r *Registry) All() []Experiment {
+	out := make([]Experiment, len(r.exps))
+	copy(out, r.exps)
+	return out
+}
+
+// Get resolves an experiment by id (case-insensitive).
+func (r *Registry) Get(id string) (Experiment, error) {
+	e, ok := r.byID[strings.ToUpper(id)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownExperiment, id)
+	}
+	return e, nil
+}
+
+// Run executes one experiment by id.
+func (r *Registry) Run(id string, cfg Config) (*Result, error) {
+	e, err := r.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(cfg.WithDefaults())
+}

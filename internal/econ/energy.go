@@ -1,0 +1,79 @@
+package econ
+
+import "errors"
+
+// EnergyParams models proof-of-work energy at economic equilibrium: miners
+// add power until the marginal electricity cost approaches marginal revenue,
+// so network consumption is pinned by coin price and reward schedule rather
+// than by transaction load — the mechanism behind "Bitcoin consumes as much
+// as Austria".
+type EnergyParams struct {
+	// CoinPriceUSD is the exchange rate.
+	CoinPriceUSD float64
+	// BlockRewardCoins is the subsidy per block; FeesPerBlockCoins the
+	// average fee take.
+	BlockRewardCoins, FeesPerBlockCoins float64
+	// BlocksPerDay is the block production rate (Bitcoin: 144).
+	BlocksPerDay float64
+	// ElecUSDPerKWh is the marginal miner's electricity price.
+	ElecUSDPerKWh float64
+	// CostShare is the fraction of revenue spent on electricity at
+	// equilibrium (the rest covers hardware and margin), typically
+	// 0.6–0.9.
+	CostShare float64
+}
+
+// Bitcoin2018Energy returns parameters matching late-2018 Bitcoin: ~$7.5k
+// per coin, 12.5 BTC subsidy, wholesale electricity.
+func Bitcoin2018Energy() EnergyParams {
+	return EnergyParams{
+		CoinPriceUSD:      7500,
+		BlockRewardCoins:  12.5,
+		FeesPerBlockCoins: 0.3,
+		BlocksPerDay:      144,
+		ElecUSDPerKWh:     0.05,
+		CostShare:         0.75,
+	}
+}
+
+// DailyRevenueUSD returns the network's total daily mining revenue.
+func (p EnergyParams) DailyRevenueUSD() float64 {
+	return p.CoinPriceUSD * (p.BlockRewardCoins + p.FeesPerBlockCoins) * p.BlocksPerDay
+}
+
+// NetworkPowerGW returns the equilibrium power draw in gigawatts.
+func (p EnergyParams) NetworkPowerGW() (float64, error) {
+	if p.ElecUSDPerKWh <= 0 {
+		return 0, errors.New("econ: electricity price must be positive")
+	}
+	if p.CostShare <= 0 || p.CostShare > 1 {
+		return 0, errors.New("econ: CostShare must be in (0,1]")
+	}
+	dailyKWh := p.DailyRevenueUSD() * p.CostShare / p.ElecUSDPerKWh
+	return dailyKWh / 24 / 1e6, nil
+}
+
+// AnnualTWh returns the equilibrium annual energy consumption in
+// terawatt-hours.
+func (p EnergyParams) AnnualTWh() (float64, error) {
+	gw, err := p.NetworkPowerGW()
+	if err != nil {
+		return 0, err
+	}
+	return gw * 24 * 365 / 1000, nil
+}
+
+// PerTxKWh returns the energy cost of a single transaction at the given
+// throughput (transactions per second).
+func (p EnergyParams) PerTxKWh(tps float64) (float64, error) {
+	if tps <= 0 {
+		return 0, errors.New("econ: tps must be positive")
+	}
+	gw, err := p.NetworkPowerGW()
+	if err != nil {
+		return 0, err
+	}
+	txPerDay := tps * 86_400
+	dailyKWh := gw * 1e6 * 24
+	return dailyKWh / txPerDay, nil
+}

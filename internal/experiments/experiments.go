@@ -1,0 +1,54 @@
+// Package experiments implements one runner per paper claim (E01–E17),
+// composing the substrate packages into the tables and figures listed in
+// DESIGN.md. Each runner returns a core.Result whose checks encode the
+// claim's expected shape.
+package experiments
+
+import (
+	"repro/internal/core"
+)
+
+// exp is the shared experiment scaffold.
+type exp struct {
+	id    string
+	title string
+	claim string
+	run   func(cfg core.Config, r *core.Result) error
+}
+
+func (e *exp) ID() string    { return e.id }
+func (e *exp) Title() string { return e.title }
+func (e *exp) Claim() string { return e.claim }
+
+func (e *exp) Run(cfg core.Config) (*core.Result, error) {
+	cfg = cfg.WithDefaults()
+	r := &core.Result{ID: e.id, Title: e.title, Claim: e.claim}
+	if err := e.run(cfg, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Registry returns the full experiment registry in paper order.
+func Registry() (*core.Registry, error) {
+	return core.NewRegistry(
+		e01Market(),
+		e02FreeRiding(),
+		e03DHTLookup(),
+		e04Sybil(),
+		e05OneHop(),
+		e06Throughput(),
+		e07Difficulty(),
+		e08ForkRate(),
+		e09Selfish(),
+		e10MiningCentralization(),
+		e11Energy(),
+		e12NodeCost(),
+		e13PermissionedVsPoW(),
+		e14EdgeVsCloud(),
+		e15Churn(),
+		e16Channels(),
+		e17DoubleSpend(),
+		e18OffChain(),
+	)
+}

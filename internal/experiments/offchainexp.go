@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/offchain"
+	"repro/internal/sim"
+)
+
+// e18OffChain reproduces §III-C Problem 2's observation about layer 2: the
+// throughput fix works precisely by re-centralizing processing onto a small
+// set of peers.
+func e18OffChain() core.Experiment {
+	return &exp{
+		id:    "E18",
+		title: "Layer-2 channels: throughput bought with re-centralization",
+		claim: "§III-C P2: the so-called layer 2 or off-chain solutions like Lightning (Bitcoin), Plasma (Ethereum) or EOS follow this trend [toward centralization]: transactions are processed by a much smaller set of peers to increase performance.",
+		run: func(cfg core.Config, r *core.Result) error {
+			g := sim.NewRNG(cfg.Seed)
+			const nodes = 60
+			payments := cfg.ScaleInt(20_000)
+			if payments < 2_000 {
+				payments = 2_000
+			}
+			// Equal total locked capital in both topologies.
+			const totalCapital = 600_000.0
+
+			build := func(hub bool) (*offchain.Network, error) {
+				nw, err := offchain.NewNetwork(nodes)
+				if err != nil {
+					return nil, err
+				}
+				if hub {
+					// 3 fully-connected hubs + one channel per leaf:
+					// 3 hub-hub channels (4x cap) + 57 leaf channels.
+					perChannel := totalCapital / (3*4 + 57)
+					return nw, offchain.BuildHubTopology(nw, 3, perChannel)
+				}
+				// Mesh: degree 6 → ~180 channels.
+				perChannel := totalCapital / 180
+				return nw, offchain.BuildMeshTopology(g, nw, 6, perChannel)
+			}
+			type outcome struct {
+				success float64
+				top3    float64
+				gini    float64
+				mult    float64
+			}
+			measure := func(hub bool) (outcome, error) {
+				nw, err := build(hub)
+				if err != nil {
+					return outcome{}, err
+				}
+				attempts := 0
+				for i := 0; i < payments; i++ {
+					src, dst := g.Intn(nodes), g.Intn(nodes)
+					if src == dst {
+						continue
+					}
+					attempts++
+					nw.Pay(src, dst, 1+g.Float64()*20)
+				}
+				top3, gini := nw.HubConcentration(3)
+				ok := float64(nw.Payments()) / float64(attempts)
+				nw.CloseAll()
+				return outcome{
+					success: ok,
+					top3:    top3,
+					gini:    gini,
+					mult:    nw.EffectiveTPSMultiplier(),
+				}, nil
+			}
+			hub, err := measure(true)
+			if err != nil {
+				return err
+			}
+			mesh, err := measure(false)
+			if err != nil {
+				return err
+			}
+			tab := metrics.NewTable("payment-channel topologies at equal locked capital (simulated)",
+				"topology", "payment success", "payments per on-chain tx", "top-3 forwarding share", "forwarding gini")
+			tab.AddRowf("3 hubs + leaves", hub.success, hub.mult, hub.top3, hub.gini)
+			tab.AddRowf("degree-6 mesh", mesh.success, mesh.mult, mesh.top3, mesh.gini)
+			tab.AddNote("hubs win on reliability and efficiency — which is why traffic gravitates to them")
+			r.Tables = append(r.Tables, tab)
+
+			r.AddCheck(hub.mult > 20, "layer2-multiplies-throughput",
+				"%.0f payments settled per on-chain transaction", hub.mult)
+			r.AddCheck(hub.top3 >= 0.9, "hubs-process-everything",
+				"top-3 nodes forward %.0f%% of hub-topology payments", hub.top3*100)
+			r.AddCheck(hub.success >= mesh.success, "economics-favour-hubs",
+				"hub success %.2f >= mesh success %.2f at equal capital — users rationally pick hubs",
+				hub.success, mesh.success)
+			return nil
+		},
+	}
+}

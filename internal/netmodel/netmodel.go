@@ -1,0 +1,271 @@
+// Package netmodel models the wide-area network underneath every simulated
+// overlay: per-region propagation delays with jitter, per-node access
+// bandwidth (serialization delay), message loss, partitions, and traffic
+// accounting. It deliberately models the network at the message level — the
+// granularity at which overlay and blockchain behaviour (fork rates, lookup
+// timeouts, broadcast latency) is determined.
+package netmodel
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Region is a coarse geographic location used to derive baseline
+// propagation delays.
+type Region int
+
+// The supported regions. Delay values between them follow public inter-region
+// RTT measurements (order of magnitude, not a live snapshot).
+const (
+	NorthAmerica Region = iota + 1
+	Europe
+	Asia
+	SouthAmerica
+	Oceania
+	Africa
+)
+
+// NumRegions is the count of defined regions.
+const NumRegions = 6
+
+func (r Region) String() string {
+	switch r {
+	case NorthAmerica:
+		return "NA"
+	case Europe:
+		return "EU"
+	case Asia:
+		return "AS"
+	case SouthAmerica:
+		return "SA"
+	case Oceania:
+		return "OC"
+	case Africa:
+		return "AF"
+	default:
+		return fmt.Sprintf("Region(%d)", int(r))
+	}
+}
+
+// baseOneWay holds one-way propagation delays between regions in
+// milliseconds, indexed by (Region-1).
+var baseOneWay = [NumRegions][NumRegions]int{
+	//        NA   EU   AS   SA   OC   AF
+	/*NA*/ {20, 45, 90, 75, 85, 110},
+	/*EU*/ {45, 15, 80, 100, 140, 70},
+	/*AS*/ {90, 80, 30, 150, 60, 120},
+	/*SA*/ {75, 100, 150, 25, 130, 160},
+	/*OC*/ {85, 140, 60, 130, 20, 150},
+	/*AF*/ {110, 70, 120, 160, 150, 35},
+}
+
+// NodeID identifies a node attached to the network.
+type NodeID int
+
+// Net is a simulated wide-area network. Construct with New; attach nodes
+// with AddNode; deliver messages with Send.
+type Net struct {
+	sim    *sim.Sim
+	rng    *sim.RNG
+	nodes  []nodeState
+	jitter float64
+	loss   float64
+	partOf []int // node index -> partition group; nil when unpartitioned
+
+	// traffic accounting
+	bytesSent  []int64
+	bytesRecvd []int64
+	msgsSent   []int64
+}
+
+type nodeState struct {
+	region Region
+	upBps  float64 // uplink bits/second; 0 = unconstrained
+	up     bool
+}
+
+// Option configures a Net.
+type Option func(*Net)
+
+// WithJitter sets the symmetric latency jitter fraction (e.g. 0.2 = ±20 %).
+func WithJitter(f float64) Option {
+	return func(n *Net) { n.jitter = f }
+}
+
+// WithLoss sets the independent per-message loss probability.
+func WithLoss(p float64) Option {
+	return func(n *Net) { n.loss = p }
+}
+
+// New creates an empty network bound to the simulator, drawing randomness
+// from the "netmodel" stream.
+func New(s *sim.Sim, opts ...Option) *Net {
+	n := &Net{
+		sim:    s,
+		rng:    s.Stream("netmodel"),
+		jitter: 0.1,
+	}
+	for _, opt := range opts {
+		opt(n)
+	}
+	return n
+}
+
+// AddNode attaches a node in the given region with the given uplink
+// bandwidth in bits/second (0 means unconstrained) and returns its id.
+func (n *Net) AddNode(region Region, uplinkBps float64) NodeID {
+	n.nodes = append(n.nodes, nodeState{region: region, upBps: uplinkBps, up: true})
+	n.bytesSent = append(n.bytesSent, 0)
+	n.bytesRecvd = append(n.bytesRecvd, 0)
+	n.msgsSent = append(n.msgsSent, 0)
+	return NodeID(len(n.nodes) - 1)
+}
+
+// Size returns the number of attached nodes.
+func (n *Net) Size() int { return len(n.nodes) }
+
+// SetUp marks a node online or offline. Messages to or from offline nodes
+// are silently dropped, mirroring unreachable peers.
+func (n *Net) SetUp(id NodeID, up bool) {
+	if n.valid(id) {
+		n.nodes[id].up = up
+	}
+}
+
+// IsUp reports whether a node is online.
+func (n *Net) IsUp(id NodeID) bool {
+	return n.valid(id) && n.nodes[id].up
+}
+
+// Region returns a node's region (0 for invalid ids).
+func (n *Net) Region(id NodeID) Region {
+	if !n.valid(id) {
+		return 0
+	}
+	return n.nodes[id].region
+}
+
+func (n *Net) valid(id NodeID) bool {
+	return id >= 0 && int(id) < len(n.nodes)
+}
+
+// Latency returns a jittered one-way propagation delay between two nodes.
+func (n *Net) Latency(from, to NodeID) time.Duration {
+	if !n.valid(from) || !n.valid(to) {
+		return 0
+	}
+	a, b := n.nodes[from].region, n.nodes[to].region
+	base := time.Duration(baseOneWay[a-1][b-1]) * time.Millisecond
+	return n.rng.Jitter(base, n.jitter)
+}
+
+// TransferTime returns serialization delay for size bytes on the sender's
+// uplink (zero when unconstrained).
+func (n *Net) TransferTime(from NodeID, size int) time.Duration {
+	if !n.valid(from) || size <= 0 {
+		return 0
+	}
+	bps := n.nodes[from].upBps
+	if bps <= 0 {
+		return 0
+	}
+	seconds := float64(size*8) / bps
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// Partition assigns nodes to isolation groups: messages crossing groups are
+// dropped until Heal is called. Nodes not present in groups stay in group 0.
+func (n *Net) Partition(groups map[NodeID]int) {
+	n.partOf = make([]int, len(n.nodes))
+	for id, g := range groups {
+		if n.valid(id) {
+			n.partOf[id] = g
+		}
+	}
+}
+
+// Heal removes any active partition.
+func (n *Net) Heal() { n.partOf = nil }
+
+func (n *Net) partitioned(a, b NodeID) bool {
+	if n.partOf == nil {
+		return false
+	}
+	return n.partOf[a] != n.partOf[b]
+}
+
+// Send schedules delivery of a message of size bytes from one node to
+// another, invoking deliver at the receive time. It returns false if the
+// message was dropped (loss, partition, or an endpoint being offline at send
+// time; delivery additionally checks the receiver is still online).
+func (n *Net) Send(from, to NodeID, size int, deliver func()) bool {
+	if !n.valid(from) || !n.valid(to) || deliver == nil {
+		return false
+	}
+	if !n.nodes[from].up || !n.nodes[to].up {
+		return false
+	}
+	if n.partitioned(from, to) {
+		return false
+	}
+	if n.loss > 0 && n.rng.Bool(n.loss) {
+		return false
+	}
+	n.bytesSent[from] += int64(size)
+	n.msgsSent[from]++
+	delay := n.TransferTime(from, size) + n.Latency(from, to)
+	n.sim.After(delay, func() {
+		if !n.nodes[to].up || n.partitioned(from, to) {
+			return
+		}
+		n.bytesRecvd[to] += int64(size)
+		deliver()
+	})
+	return true
+}
+
+// BytesSent returns the cumulative bytes sent by a node.
+func (n *Net) BytesSent(id NodeID) int64 {
+	if !n.valid(id) {
+		return 0
+	}
+	return n.bytesSent[id]
+}
+
+// BytesReceived returns the cumulative bytes delivered to a node.
+func (n *Net) BytesReceived(id NodeID) int64 {
+	if !n.valid(id) {
+		return 0
+	}
+	return n.bytesRecvd[id]
+}
+
+// MessagesSent returns the cumulative message count sent by a node.
+func (n *Net) MessagesSent(id NodeID) int64 {
+	if !n.valid(id) {
+		return 0
+	}
+	return n.msgsSent[id]
+}
+
+// TotalBytesSent sums sent traffic over all nodes.
+func (n *Net) TotalBytesSent() int64 {
+	var total int64
+	for _, b := range n.bytesSent {
+		total += b
+	}
+	return total
+}
+
+// ResetTraffic zeroes all traffic counters (useful between warm-up and
+// measurement phases).
+func (n *Net) ResetTraffic() {
+	for i := range n.bytesSent {
+		n.bytesSent[i] = 0
+		n.bytesRecvd[i] = 0
+		n.msgsSent[i] = 0
+	}
+}

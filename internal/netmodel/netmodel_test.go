@@ -1,0 +1,204 @@
+package netmodel
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func newNet(t *testing.T, opts ...Option) (*sim.Sim, *Net) {
+	t.Helper()
+	s := sim.New(sim.WithSeed(7))
+	return s, New(s, opts...)
+}
+
+func TestLatencyRegions(t *testing.T) {
+	s, n := newNet(t, WithJitter(0))
+	_ = s
+	a := n.AddNode(Europe, 0)
+	b := n.AddNode(Europe, 0)
+	c := n.AddNode(Asia, 0)
+	if got := n.Latency(a, b); got != 15*time.Millisecond {
+		t.Fatalf("intra-EU latency = %v, want 15ms", got)
+	}
+	if got := n.Latency(a, c); got != 80*time.Millisecond {
+		t.Fatalf("EU->AS latency = %v, want 80ms", got)
+	}
+	if n.Latency(a, c) != n.Latency(c, a) {
+		t.Fatal("latency must be symmetric without jitter")
+	}
+}
+
+func TestJitterWithinBounds(t *testing.T) {
+	_, n := newNet(t, WithJitter(0.2))
+	a := n.AddNode(Europe, 0)
+	b := n.AddNode(Europe, 0)
+	for i := 0; i < 500; i++ {
+		d := n.Latency(a, b)
+		if d < 12*time.Millisecond || d > 18*time.Millisecond {
+			t.Fatalf("jittered latency %v outside ±20%% of 15ms", d)
+		}
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	_, n := newNet(t)
+	a := n.AddNode(Europe, 8e6) // 8 Mbit/s => 1 MB takes 1 s
+	if got := n.TransferTime(a, 1_000_000); got != time.Second {
+		t.Fatalf("TransferTime = %v, want 1s", got)
+	}
+	b := n.AddNode(Europe, 0)
+	if got := n.TransferTime(b, 1_000_000); got != 0 {
+		t.Fatalf("unconstrained TransferTime = %v, want 0", got)
+	}
+}
+
+func TestSendDelivers(t *testing.T) {
+	s, n := newNet(t, WithJitter(0))
+	a := n.AddNode(NorthAmerica, 0)
+	b := n.AddNode(Europe, 0)
+	var deliveredAt time.Duration
+	ok := n.Send(a, b, 100, func() { deliveredAt = s.Now() })
+	if !ok {
+		t.Fatal("Send returned false")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if deliveredAt != 45*time.Millisecond {
+		t.Fatalf("delivered at %v, want 45ms", deliveredAt)
+	}
+	if n.BytesSent(a) != 100 || n.BytesReceived(b) != 100 {
+		t.Fatalf("traffic accounting wrong: sent=%d recv=%d", n.BytesSent(a), n.BytesReceived(b))
+	}
+	if n.MessagesSent(a) != 1 {
+		t.Fatalf("MessagesSent = %d, want 1", n.MessagesSent(a))
+	}
+}
+
+func TestSendToOfflineNode(t *testing.T) {
+	s, n := newNet(t)
+	a := n.AddNode(Europe, 0)
+	b := n.AddNode(Europe, 0)
+	n.SetUp(b, false)
+	if n.Send(a, b, 10, func() { t.Fatal("delivered to offline node") }) {
+		t.Fatal("Send to offline node should return false")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestReceiverGoesDownMidFlight(t *testing.T) {
+	s, n := newNet(t)
+	a := n.AddNode(Europe, 0)
+	b := n.AddNode(Asia, 0)
+	delivered := false
+	n.Send(a, b, 10, func() { delivered = true })
+	s.After(time.Millisecond, func() { n.SetUp(b, false) })
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if delivered {
+		t.Fatal("message delivered to node that went offline mid-flight")
+	}
+	if n.BytesReceived(b) != 0 {
+		t.Fatal("offline node accrued received bytes")
+	}
+}
+
+func TestLoss(t *testing.T) {
+	s, n := newNet(t, WithLoss(1.0))
+	a := n.AddNode(Europe, 0)
+	b := n.AddNode(Europe, 0)
+	if n.Send(a, b, 10, func() { t.Fatal("lossy link delivered") }) {
+		t.Fatal("Send should report drop under 100% loss")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	s, n := newNet(t)
+	a := n.AddNode(Europe, 0)
+	b := n.AddNode(Europe, 0)
+	n.Partition(map[NodeID]int{a: 0, b: 1})
+	if n.Send(a, b, 10, func() {}) {
+		t.Fatal("Send across partition should fail")
+	}
+	n.Heal()
+	delivered := false
+	if !n.Send(a, b, 10, func() { delivered = true }) {
+		t.Fatal("Send after Heal should succeed")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !delivered {
+		t.Fatal("message not delivered after Heal")
+	}
+}
+
+func TestPartitionDropsInFlight(t *testing.T) {
+	s, n := newNet(t)
+	a := n.AddNode(Europe, 0)
+	b := n.AddNode(Asia, 0)
+	delivered := false
+	n.Send(a, b, 10, func() { delivered = true })
+	s.After(time.Millisecond, func() { n.Partition(map[NodeID]int{a: 0, b: 1}) })
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if delivered {
+		t.Fatal("in-flight message crossed a partition formed before delivery")
+	}
+}
+
+func TestResetTraffic(t *testing.T) {
+	s, n := newNet(t)
+	a := n.AddNode(Europe, 0)
+	b := n.AddNode(Europe, 0)
+	n.Send(a, b, 10, func() {})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	n.ResetTraffic()
+	if n.TotalBytesSent() != 0 || n.BytesReceived(b) != 0 {
+		t.Fatal("ResetTraffic did not zero counters")
+	}
+}
+
+func TestInvalidIDs(t *testing.T) {
+	_, n := newNet(t)
+	if n.Send(NodeID(0), NodeID(1), 10, func() {}) {
+		t.Fatal("Send with unknown nodes should fail")
+	}
+	if n.Latency(-1, 0) != 0 || n.Region(-1) != 0 {
+		t.Fatal("invalid ids should degrade to zero values")
+	}
+	if n.IsUp(-1) {
+		t.Fatal("invalid id reported up")
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	tests := []struct {
+		r    Region
+		want string
+	}{
+		{NorthAmerica, "NA"},
+		{Europe, "EU"},
+		{Asia, "AS"},
+		{SouthAmerica, "SA"},
+		{Oceania, "OC"},
+		{Africa, "AF"},
+		{Region(99), "Region(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.r.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", int(tt.r), got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+// Package offchain models layer-2 payment-channel networks (Lightning-style),
+// the scaling response the paper discusses in §III-C Problem 2: "the
+// so-called layer 2 or off-chain solutions … follow this trend [toward more
+// centralized designs]: transactions are processed by a much smaller set of
+// peers to increase performance."
+//
+// The model captures both halves of that sentence: payment channels multiply
+// effective throughput (only opens, closes and disputes touch the chain),
+// and economically-routed payments concentrate onto a small set of
+// well-capitalized hubs, re-centralizing the topology.
+package offchain
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Channel is one bidirectional payment channel.
+type Channel struct {
+	// A and B are the endpoints; BalanceA/BalanceB their current sides of
+	// the channel capacity.
+	A, B               int
+	BalanceA, BalanceB float64
+}
+
+// Capacity returns the channel's total locked funds.
+func (c *Channel) Capacity() float64 { return c.BalanceA + c.BalanceB }
+
+// balance returns node's side of the channel (0 if node is not a member).
+func (c *Channel) balance(node int) float64 {
+	switch node {
+	case c.A:
+		return c.BalanceA
+	case c.B:
+		return c.BalanceB
+	default:
+		return 0
+	}
+}
+
+// shift moves amt from `from`'s side to the other side.
+func (c *Channel) shift(from int, amt float64) {
+	if from == c.A {
+		c.BalanceA -= amt
+		c.BalanceB += amt
+	} else {
+		c.BalanceB -= amt
+		c.BalanceA += amt
+	}
+}
+
+// other returns the counterparty of node.
+func (c *Channel) other(node int) int {
+	if node == c.A {
+		return c.B
+	}
+	return c.A
+}
+
+// Network is a payment-channel network.
+type Network struct {
+	n        int
+	channels []*Channel
+	adj      [][]int // node -> channel indices
+
+	// on-chain accounting: opens and closes are layer-1 transactions.
+	chainTxs int
+	payments int
+	failed   int
+	// routedVia counts payments forwarded through each node (hub load).
+	routedVia []int64
+}
+
+// NewNetwork creates an empty network over n nodes.
+func NewNetwork(n int) (*Network, error) {
+	if n < 2 {
+		return nil, errors.New("offchain: need at least two nodes")
+	}
+	return &Network{
+		n:         n,
+		adj:       make([][]int, n),
+		routedVia: make([]int64, n),
+	}, nil
+}
+
+// N returns the node count.
+func (nw *Network) N() int { return nw.n }
+
+// OpenChannel locks capacity/2 on each side between a and b; it costs one
+// on-chain transaction.
+func (nw *Network) OpenChannel(a, b int, capacity float64) (*Channel, error) {
+	if a == b || a < 0 || b < 0 || a >= nw.n || b >= nw.n {
+		return nil, errors.New("offchain: invalid endpoints")
+	}
+	if capacity <= 0 {
+		return nil, errors.New("offchain: capacity must be positive")
+	}
+	c := &Channel{A: a, B: b, BalanceA: capacity / 2, BalanceB: capacity / 2}
+	idx := len(nw.channels)
+	nw.channels = append(nw.channels, c)
+	nw.adj[a] = append(nw.adj[a], idx)
+	nw.adj[b] = append(nw.adj[b], idx)
+	nw.chainTxs++
+	return c, nil
+}
+
+// CloseAll settles every channel on-chain (one transaction each) and
+// returns the number of on-chain transactions the network consumed in
+// total.
+func (nw *Network) CloseAll() int {
+	nw.chainTxs += len(nw.channels)
+	nw.channels = nil
+	for i := range nw.adj {
+		nw.adj[i] = nil
+	}
+	return nw.chainTxs
+}
+
+// OnChainTxs returns layer-1 transactions consumed so far (opens + closes).
+func (nw *Network) OnChainTxs() int { return nw.chainTxs }
+
+// Payments returns successful off-chain payments routed.
+func (nw *Network) Payments() int { return nw.payments }
+
+// Failed returns payments that found no feasible route.
+func (nw *Network) Failed() int { return nw.failed }
+
+// HubShares returns each node's share of total forwarding events — the
+// re-centralization metric.
+func (nw *Network) HubShares() []float64 {
+	out := make([]float64, nw.n)
+	var total float64
+	for _, v := range nw.routedVia {
+		total += float64(v)
+	}
+	if total == 0 {
+		return out
+	}
+	for i, v := range nw.routedVia {
+		out[i] = float64(v) / total
+	}
+	return out
+}
+
+// HubConcentration summarizes routing centralization: the share of
+// forwarding handled by the top-k intermediaries and the Gini coefficient.
+func (nw *Network) HubConcentration(k int) (topK, gini float64) {
+	shares := make([]float64, len(nw.routedVia))
+	for i, v := range nw.routedVia {
+		shares[i] = float64(v)
+	}
+	return metrics.TopShare(shares, k), metrics.Gini(shares)
+}
+
+// Pay routes amt from src to dst through the cheapest feasible path
+// (Dijkstra over hop count; each hop must have amt of directed liquidity).
+// On success it updates channel balances and forwarding counters.
+func (nw *Network) Pay(src, dst int, amt float64) bool {
+	if src == dst || src < 0 || dst < 0 || src >= nw.n || dst >= nw.n || amt <= 0 {
+		nw.failed++
+		return false
+	}
+	path := nw.route(src, dst, amt)
+	if path == nil {
+		nw.failed++
+		return false
+	}
+	cur := src
+	for _, chIdx := range path {
+		ch := nw.channels[chIdx]
+		ch.shift(cur, amt)
+		next := ch.other(cur)
+		if next != dst {
+			nw.routedVia[next]++
+		}
+		cur = next
+	}
+	nw.payments++
+	return true
+}
+
+// route finds a min-hop path with per-hop liquidity >= amt.
+type pqItem struct {
+	node int
+	dist int
+}
+
+type priorityQueue []pqItem
+
+func (p priorityQueue) Len() int           { return len(p) }
+func (p priorityQueue) Less(i, j int) bool { return p[i].dist < p[j].dist }
+func (p priorityQueue) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
+func (p *priorityQueue) Push(x any)        { *p = append(*p, x.(pqItem)) }
+func (p *priorityQueue) Pop() any {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}
+
+func (nw *Network) route(src, dst int, amt float64) []int {
+	const inf = math.MaxInt32
+	dist := make([]int, nw.n)
+	prevCh := make([]int, nw.n)
+	for i := range dist {
+		dist[i] = inf
+		prevCh[i] = -1
+	}
+	dist[src] = 0
+	pq := &priorityQueue{{node: src}}
+	for pq.Len() > 0 {
+		it, ok := heap.Pop(pq).(pqItem)
+		if !ok {
+			break
+		}
+		if it.dist > dist[it.node] {
+			continue
+		}
+		if it.node == dst {
+			break
+		}
+		for _, chIdx := range nw.adj[it.node] {
+			ch := nw.channels[chIdx]
+			if ch.balance(it.node) < amt {
+				continue // not enough directed liquidity
+			}
+			next := ch.other(it.node)
+			if d := it.dist + 1; d < dist[next] {
+				dist[next] = d
+				prevCh[next] = chIdx
+				heap.Push(pq, pqItem{node: next, dist: d})
+			}
+		}
+	}
+	if dist[dst] == inf {
+		return nil
+	}
+	// Rebuild the path channel list from dst back to src.
+	var rev []int
+	for cur := dst; cur != src; {
+		chIdx := prevCh[cur]
+		if chIdx < 0 {
+			return nil
+		}
+		rev = append(rev, chIdx)
+		cur = nw.channels[chIdx].other(cur)
+	}
+	out := make([]int, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// Topology builders for the two deployment shapes the paper contrasts.
+
+// BuildHubTopology wires everyone to k hubs with large capacity — the shape
+// economically-routed networks converge to.
+func BuildHubTopology(nw *Network, hubs int, hubCapacity float64) error {
+	if hubs < 1 || hubs >= nw.n {
+		return errors.New("offchain: invalid hub count")
+	}
+	// Hubs interconnect fully.
+	for i := 0; i < hubs; i++ {
+		for j := i + 1; j < hubs; j++ {
+			if _, err := nw.OpenChannel(i, j, hubCapacity*4); err != nil {
+				return err
+			}
+		}
+	}
+	for i := hubs; i < nw.n; i++ {
+		if _, err := nw.OpenChannel(i, i%hubs, hubCapacity); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BuildMeshTopology wires a ring plus random chords with uniform capacity —
+// the decentralized ideal.
+func BuildMeshTopology(g *sim.RNG, nw *Network, degree int, capacity float64) error {
+	if degree < 2 {
+		return errors.New("offchain: degree must be >= 2")
+	}
+	for i := 0; i < nw.n; i++ {
+		if _, err := nw.OpenChannel(i, (i+1)%nw.n, capacity); err != nil {
+			return err
+		}
+	}
+	extra := (degree - 2) * nw.n / 2
+	for e := 0; e < extra; e++ {
+		a, b := g.Intn(nw.n), g.Intn(nw.n)
+		if a != b {
+			// Duplicate channels are allowed; they just add liquidity.
+			if _, err := nw.OpenChannel(a, b, capacity); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// EffectiveTPSMultiplier returns how many payments the network settled per
+// on-chain transaction consumed — the layer-2 throughput story.
+func (nw *Network) EffectiveTPSMultiplier() float64 {
+	if nw.chainTxs == 0 {
+		return 0
+	}
+	return float64(nw.payments) / float64(nw.chainTxs)
+}

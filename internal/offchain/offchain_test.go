@@ -1,0 +1,198 @@
+package offchain
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := NewNetwork(1); err == nil {
+		t.Fatal("n<2 should error")
+	}
+	nw, err := NewNetwork(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.OpenChannel(0, 0, 10); err == nil {
+		t.Fatal("self-channel should error")
+	}
+	if _, err := nw.OpenChannel(0, 9, 10); err == nil {
+		t.Fatal("out-of-range endpoint should error")
+	}
+	if _, err := nw.OpenChannel(0, 1, 0); err == nil {
+		t.Fatal("zero capacity should error")
+	}
+}
+
+func TestDirectPayment(t *testing.T) {
+	nw, err := NewNetwork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := nw.OpenChannel(0, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nw.Pay(0, 1, 30) {
+		t.Fatal("direct payment failed")
+	}
+	if ch.BalanceA != 20 || ch.BalanceB != 80 {
+		t.Fatalf("balances = %v/%v, want 20/80", ch.BalanceA, ch.BalanceB)
+	}
+	if ch.Capacity() != 100 {
+		t.Fatal("capacity must be conserved")
+	}
+	// Liquidity exhausted in one direction.
+	if nw.Pay(0, 1, 30) {
+		t.Fatal("payment should fail without liquidity")
+	}
+	// But flows fine the other way.
+	if !nw.Pay(1, 0, 50) {
+		t.Fatal("reverse payment should succeed")
+	}
+}
+
+func TestMultiHopRoutingAndHubLoad(t *testing.T) {
+	nw, err := NewNetwork(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Star around node 2.
+	for _, leaf := range []int{0, 1, 3, 4} {
+		if _, err := nw.OpenChannel(leaf, 2, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !nw.Pay(0, 4, 10) {
+		t.Fatal("two-hop payment failed")
+	}
+	shares := nw.HubShares()
+	if shares[2] != 1.0 {
+		t.Fatalf("hub share = %v, want all forwarding through node 2", shares[2])
+	}
+	if nw.Payments() != 1 {
+		t.Fatalf("Payments = %d", nw.Payments())
+	}
+}
+
+func TestNoRouteFails(t *testing.T) {
+	nw, err := NewNetwork(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.OpenChannel(0, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Pay(0, 3, 1) {
+		t.Fatal("payment across disconnected nodes should fail")
+	}
+	if nw.Failed() != 1 {
+		t.Fatalf("Failed = %d", nw.Failed())
+	}
+}
+
+func TestValueConservation(t *testing.T) {
+	g := sim.NewRNG(5)
+	nw, err := NewNetwork(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := BuildMeshTopology(g, nw, 4, 100); err != nil {
+		t.Fatal(err)
+	}
+	var before float64
+	for _, ch := range nw.channels {
+		before += ch.Capacity()
+	}
+	for i := 0; i < 500; i++ {
+		nw.Pay(g.Intn(30), g.Intn(30), 1+g.Float64()*5)
+	}
+	var after float64
+	for _, ch := range nw.channels {
+		after += ch.Capacity()
+	}
+	if before != after {
+		t.Fatalf("channel value not conserved: %v -> %v", before, after)
+	}
+}
+
+func TestThroughputMultiplier(t *testing.T) {
+	// The layer-2 pitch: thousands of payments per on-chain transaction.
+	g := sim.NewRNG(6)
+	nw, err := NewNetwork(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := BuildHubTopology(nw, 3, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20_000; i++ {
+		src, dst := g.Intn(50), g.Intn(50)
+		if src != dst {
+			nw.Pay(src, dst, 1)
+		}
+	}
+	opens := nw.OnChainTxs()
+	nw.CloseAll()
+	mult := nw.EffectiveTPSMultiplier()
+	if mult < 50 {
+		t.Fatalf("multiplier = %v, want payments >> on-chain txs (opens=%d)", mult, opens)
+	}
+}
+
+func TestHubTopologyRecentralizes(t *testing.T) {
+	// The paper's warning: layer-2 performance comes from routing through a
+	// small set of peers.
+	g := sim.NewRNG(7)
+
+	hub, err := NewNetwork(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := BuildHubTopology(hub, 3, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	mesh, err := NewNetwork(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := BuildMeshTopology(g, mesh, 6, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5_000; i++ {
+		src, dst := g.Intn(60), g.Intn(60)
+		if src == dst {
+			continue
+		}
+		hub.Pay(src, dst, 1)
+		mesh.Pay(src, dst, 1)
+	}
+	hubTop3, hubGini := hub.HubConcentration(3)
+	meshTop3, meshGini := mesh.HubConcentration(3)
+	if hubTop3 < 0.95 {
+		t.Fatalf("hub topology top-3 forwarding share = %v, want ~1", hubTop3)
+	}
+	if meshTop3 >= hubTop3 {
+		t.Fatalf("mesh should be less concentrated: mesh %v vs hub %v", meshTop3, hubTop3)
+	}
+	if meshGini >= hubGini {
+		t.Fatalf("mesh gini %v should be below hub gini %v", meshGini, hubGini)
+	}
+}
+
+func TestHubTopologyValidation(t *testing.T) {
+	nw, err := NewNetwork(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := BuildHubTopology(nw, 0, 10); err == nil {
+		t.Fatal("0 hubs should error")
+	}
+	if err := BuildHubTopology(nw, 5, 10); err == nil {
+		t.Fatal("hubs >= n should error")
+	}
+	if err := BuildMeshTopology(sim.NewRNG(1), nw, 1, 10); err == nil {
+		t.Fatal("degree < 2 should error")
+	}
+}

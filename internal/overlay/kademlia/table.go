@@ -1,0 +1,143 @@
+// Package kademlia implements the Kademlia DHT (Maymounkov & Mazières 2002)
+// as deployed in eMule KAD and the BitTorrent Mainline DHT: k-bucket routing
+// tables, iterative α-parallel lookups over an unreliable message-level
+// network, per-RPC timeouts, and the sender-learning behaviour that makes
+// open deployments vulnerable to sybil poisoning.
+//
+// The package reproduces the mechanisms behind three of the paper's claims:
+// lookup latency divergence between KAD-like and MDHT-like deployments
+// (Jiménez et al.), degradation under churn, and sybil/eclipse attacks on
+// open identifier assignment.
+package kademlia
+
+import (
+	"sort"
+
+	"repro/internal/netmodel"
+	"repro/internal/overlay"
+)
+
+// Contact is a routing-table entry: an overlay identifier plus the network
+// address it claims to live at.
+type Contact struct {
+	ID   overlay.ID
+	Addr netmodel.NodeID
+}
+
+// Table is a Kademlia routing table: up to IDBits k-buckets indexed by the
+// common prefix length with the owner's identifier. Buckets keep
+// least-recently-seen contacts at the front and, when full, drop newcomers —
+// Kademlia's documented bias toward long-lived peers.
+type Table struct {
+	self    overlay.ID
+	k       int
+	buckets [][]Contact
+}
+
+// NewTable creates a routing table for the given owner with bucket size k.
+func NewTable(self overlay.ID, k int) *Table {
+	if k <= 0 {
+		k = 20
+	}
+	return &Table{
+		self:    self,
+		k:       k,
+		buckets: make([][]Contact, overlay.IDBits+1),
+	}
+}
+
+// K returns the bucket capacity.
+func (t *Table) K() int { return t.k }
+
+// Add inserts or refreshes a contact. Existing contacts move to the
+// most-recently-seen position; new contacts are appended if the bucket has
+// room and dropped otherwise. The owner's own id is never stored. It reports
+// whether the contact is present after the call.
+func (t *Table) Add(c Contact) bool {
+	if c.ID == t.self {
+		return false
+	}
+	idx := overlay.CommonPrefixLen(t.self, c.ID)
+	b := t.buckets[idx]
+	for i := range b {
+		if b[i].ID == c.ID {
+			// Move to tail (most recently seen).
+			copy(b[i:], b[i+1:])
+			b[len(b)-1] = c
+			return true
+		}
+	}
+	if len(b) < t.k {
+		t.buckets[idx] = append(b, c)
+		return true
+	}
+	return false
+}
+
+// Remove deletes a contact (e.g. after an RPC timeout).
+func (t *Table) Remove(id overlay.ID) {
+	idx := overlay.CommonPrefixLen(t.self, id)
+	b := t.buckets[idx]
+	for i := range b {
+		if b[i].ID == id {
+			t.buckets[idx] = append(b[:i], b[i+1:]...)
+			return
+		}
+	}
+}
+
+// Contains reports whether the table currently stores the contact.
+func (t *Table) Contains(id overlay.ID) bool {
+	idx := overlay.CommonPrefixLen(t.self, id)
+	for _, c := range t.buckets[idx] {
+		if c.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Size returns the total number of stored contacts.
+func (t *Table) Size() int {
+	n := 0
+	for _, b := range t.buckets {
+		n += len(b)
+	}
+	return n
+}
+
+// Closest returns up to n contacts sorted by XOR distance to target.
+func (t *Table) Closest(target overlay.ID, n int) []Contact {
+	if n <= 0 {
+		return nil
+	}
+	all := make([]Contact, 0, t.Size())
+	for _, b := range t.buckets {
+		all = append(all, b...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		return overlay.CloserXOR(target, all[i].ID, all[j].ID)
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// Contacts returns a copy of every stored contact (bucket order).
+func (t *Table) Contacts() []Contact {
+	out := make([]Contact, 0, t.Size())
+	for _, b := range t.buckets {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// BucketLen returns the number of contacts in the bucket for the given
+// common prefix length.
+func (t *Table) BucketLen(cpl int) int {
+	if cpl < 0 || cpl > overlay.IDBits {
+		return 0
+	}
+	return len(t.buckets[cpl])
+}

@@ -1,0 +1,97 @@
+package pow
+
+import (
+	"math"
+	"time"
+)
+
+// ChainParams captures the throughput-determining parameters of a deployed
+// permissionless chain.
+type ChainParams struct {
+	// Name labels the configuration in tables.
+	Name string
+	// BlockCapacity is the usable payload per block in bytes (size-capped
+	// chains) — zero when GasLimit applies instead.
+	BlockCapacity int
+	// AvgTxSize is the mean transaction size in bytes.
+	AvgTxSize int
+	// GasLimit and AvgTxGas model Ethereum-style capacity; used when
+	// BlockCapacity is zero.
+	GasLimit, AvgTxGas float64
+	// Interval is the average block interval.
+	Interval time.Duration
+}
+
+// TxPerBlock returns the mean number of transactions fitting in a block.
+func (p ChainParams) TxPerBlock() float64 {
+	if p.BlockCapacity > 0 && p.AvgTxSize > 0 {
+		return float64(p.BlockCapacity) / float64(p.AvgTxSize)
+	}
+	if p.GasLimit > 0 && p.AvgTxGas > 0 {
+		return p.GasLimit / p.AvgTxGas
+	}
+	return 0
+}
+
+// TPS returns sustained transactions per second.
+func (p ChainParams) TPS() float64 {
+	if p.Interval <= 0 {
+		return 0
+	}
+	return p.TxPerBlock() / p.Interval.Seconds()
+}
+
+// BitcoinParams returns the 2017-era Bitcoin configuration. With the
+// historical transaction-size mix it yields the paper's 3.3–7 tps range
+// (3.3 at ~500 B/tx, 7 at ~240 B/tx).
+func BitcoinParams(avgTxSize int) ChainParams {
+	if avgTxSize <= 0 {
+		avgTxSize = 400
+	}
+	return ChainParams{
+		Name:          "bitcoin",
+		BlockCapacity: 1_000_000,
+		AvgTxSize:     avgTxSize,
+		Interval:      10 * time.Minute,
+	}
+}
+
+// EthereumParams returns a 2018-era Ethereum configuration: 8M gas blocks
+// every ~14s with a contract-heavy mix averaging ~38k gas/tx, matching the
+// paper's "around 15 per second".
+func EthereumParams() ChainParams {
+	return ChainParams{
+		Name:     "ethereum",
+		GasLimit: 8_000_000,
+		AvgTxGas: 38_000,
+		Interval: 14 * time.Second,
+	}
+}
+
+// VisaReferenceTPS is the paper's stated VISA processing capacity.
+const VisaReferenceTPS = 24_000
+
+// StaleRateModel returns the expected stale (orphan) rate for a given mean
+// propagation delay and block interval under Poisson mining:
+// 1 - e^(-delay/interval). It is the analytic companion to the fork-rate
+// simulation (E8).
+func StaleRateModel(propagation, interval time.Duration) float64 {
+	if interval <= 0 || propagation <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-propagation.Seconds()/interval.Seconds())
+}
+
+// EffectiveSecurityShare returns the honest-work fraction that actually
+// secures the chain when a fraction stale of blocks is orphaned: wasted
+// blocks do not contribute to the longest chain's weight, so an attacker's
+// effective threshold drops from 50% to (1-stale)/(2-stale).
+func EffectiveSecurityShare(stale float64) float64 {
+	if stale < 0 {
+		stale = 0
+	}
+	if stale >= 1 {
+		return 0
+	}
+	return (1 - stale) / (2 - stale)
+}

@@ -1,0 +1,555 @@
+// Package raft implements the Raft consensus protocol (Ongaro & Ousterhout
+// 2014): randomized leader election, log replication, and majority commit.
+// It plays the role of the crash-fault-tolerant ordering service in the
+// permissioned blockchain stack (Fabric's Raft orderer), the cheaper
+// alternative to PBFT when participants are authenticated and merely
+// crash-prone rather than Byzantine.
+package raft
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+)
+
+// Role is a node's protocol role.
+type Role int
+
+// The Raft roles.
+const (
+	Follower Role = iota + 1
+	Candidate
+	Leader
+)
+
+func (r Role) String() string {
+	switch r {
+	case Follower:
+		return "follower"
+	case Candidate:
+		return "candidate"
+	case Leader:
+		return "leader"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes the cluster.
+type Config struct {
+	// ElectionTimeoutMin/Max bound the randomized election timeout.
+	ElectionTimeoutMin, ElectionTimeoutMax time.Duration
+	// HeartbeatInterval is the leader's append/heartbeat period.
+	HeartbeatInterval time.Duration
+	// ReqSize is the per-entry payload size in bytes.
+	ReqSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ElectionTimeoutMin <= 0 {
+		c.ElectionTimeoutMin = 500 * time.Millisecond
+	}
+	if c.ElectionTimeoutMax <= c.ElectionTimeoutMin {
+		c.ElectionTimeoutMax = 2 * c.ElectionTimeoutMin
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = c.ElectionTimeoutMin / 5
+	}
+	if c.ReqSize <= 0 {
+		c.ReqSize = 200
+	}
+	return c
+}
+
+// Request is a client command to replicate.
+type Request struct {
+	ID          int
+	SubmittedAt time.Duration
+}
+
+type entry struct {
+	term int
+	req  Request
+}
+
+// Node is one Raft participant.
+type Node struct {
+	id   int
+	addr netmodel.NodeID
+
+	role     Role
+	term     int
+	votedFor int
+	log      []entry
+	commit   int // highest committed index (-1 none)
+	applied  int // highest applied index (-1 none)
+
+	votes      map[int]bool
+	nextIndex  []int
+	matchIndex []int
+
+	electionTimer *sim.Event
+	heartbeat     *sim.Ticker
+	crashed       bool
+}
+
+// ID returns the node id.
+func (n *Node) ID() int { return n.id }
+
+// Addr returns the node's network address.
+func (n *Node) Addr() netmodel.NodeID { return n.addr }
+
+// Role returns the node's current role.
+func (n *Node) Role() Role { return n.role }
+
+// Term returns the node's current term.
+func (n *Node) Term() int { return n.term }
+
+// CommitIndex returns the highest committed log index (-1 if none).
+func (n *Node) CommitIndex() int { return n.commit }
+
+// LogLen returns the node's log length.
+func (n *Node) LogLen() int { return len(n.log) }
+
+// Cluster is a Raft group over a simulated network.
+type Cluster struct {
+	sim *sim.Sim
+	net *netmodel.Net
+	cfg Config
+	rng *sim.RNG
+
+	nodes []*Node
+
+	msgs      int64
+	bytes     int64
+	committed int
+	latency   []time.Duration
+	elections int
+
+	onApply func(node, index int, req Request)
+}
+
+// NewCluster creates an n-node cluster (n must be odd and >= 3).
+func NewCluster(s *sim.Sim, nm *netmodel.Net, n int, region netmodel.Region, cfg Config) (*Cluster, error) {
+	if n < 3 || n%2 == 0 {
+		return nil, errors.New("raft: n must be odd and >= 3")
+	}
+	c := &Cluster{
+		sim: s,
+		net: nm,
+		cfg: cfg.withDefaults(),
+		rng: s.Stream("raft"),
+	}
+	for i := 0; i < n; i++ {
+		c.nodes = append(c.nodes, &Node{
+			id:       i,
+			addr:     nm.AddNode(region, 0),
+			role:     Follower,
+			votedFor: -1,
+			commit:   -1,
+			applied:  -1,
+		})
+	}
+	return c, nil
+}
+
+// Start arms every node's election timer. Run the simulator to elect a
+// leader.
+func (c *Cluster) Start() {
+	for _, n := range c.nodes {
+		c.resetElectionTimer(n)
+	}
+}
+
+// Nodes returns the nodes (shared slice; do not modify).
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Leader returns the current leader with the highest term, or nil.
+func (c *Cluster) Leader() *Node {
+	var best *Node
+	for _, n := range c.nodes {
+		if n.role == Leader && !n.crashed && (best == nil || n.term > best.term) {
+			best = n
+		}
+	}
+	return best
+}
+
+// Committed returns the number of requests committed and applied at the
+// leader.
+func (c *Cluster) Committed() int { return c.committed }
+
+// Messages returns total protocol messages.
+func (c *Cluster) Messages() int64 { return c.msgs }
+
+// Elections returns how many elections were started.
+func (c *Cluster) Elections() int { return c.elections }
+
+// Latencies returns submit-to-commit latencies.
+func (c *Cluster) Latencies() []time.Duration { return c.latency }
+
+// OnApply registers an observer of applied entries.
+func (c *Cluster) OnApply(fn func(node, index int, req Request)) { c.onApply = fn }
+
+// Crash fail-stops a node.
+func (c *Cluster) Crash(id int) {
+	if id < 0 || id >= len(c.nodes) {
+		return
+	}
+	n := c.nodes[id]
+	n.crashed = true
+	c.net.SetUp(n.addr, false)
+	if n.heartbeat != nil {
+		n.heartbeat.Stop()
+		n.heartbeat = nil
+	}
+	if n.electionTimer != nil {
+		n.electionTimer.Cancel()
+	}
+}
+
+// Recover restarts a crashed node as a follower with its log intact.
+func (c *Cluster) Recover(id int) {
+	if id < 0 || id >= len(c.nodes) {
+		return
+	}
+	n := c.nodes[id]
+	n.crashed = false
+	n.role = Follower
+	c.net.SetUp(n.addr, true)
+	c.resetElectionTimer(n)
+}
+
+// Submit proposes a request via the current leader. It returns false when
+// no leader is known (clients retry in that case).
+func (c *Cluster) Submit(req Request) bool {
+	leader := c.Leader()
+	if leader == nil {
+		return false
+	}
+	leader.log = append(leader.log, entry{term: leader.term, req: req})
+	leader.matchIndex[leader.id] = len(leader.log) - 1
+	// Replicate eagerly (heartbeat also retries).
+	for _, peer := range c.nodes {
+		if peer != leader {
+			c.sendAppend(leader, peer)
+		}
+	}
+	return true
+}
+
+func (c *Cluster) resetElectionTimer(n *Node) {
+	if n.electionTimer != nil {
+		n.electionTimer.Cancel()
+	}
+	span := c.cfg.ElectionTimeoutMax - c.cfg.ElectionTimeoutMin
+	d := c.cfg.ElectionTimeoutMin + time.Duration(c.rng.Float64()*float64(span))
+	n.electionTimer = c.sim.After(d, func() { c.startElection(n) })
+}
+
+func (c *Cluster) startElection(n *Node) {
+	if n.crashed || n.role == Leader {
+		return
+	}
+	c.elections++
+	n.term++
+	n.role = Candidate
+	n.votedFor = n.id
+	n.votes = map[int]bool{n.id: true}
+	c.resetElectionTimer(n)
+	lastIdx := len(n.log) - 1
+	lastTerm := 0
+	if lastIdx >= 0 {
+		lastTerm = n.log[lastIdx].term
+	}
+	term := n.term
+	for _, peer := range c.nodes {
+		if peer == n {
+			continue
+		}
+		peer := peer
+		c.send(n, peer, 64, func() {
+			c.onRequestVote(peer, n, term, lastIdx, lastTerm)
+		})
+	}
+}
+
+func (c *Cluster) onRequestVote(n, candidate *Node, term, lastIdx, lastTerm int) {
+	if n.crashed {
+		return
+	}
+	if term > n.term {
+		c.stepDown(n, term)
+	}
+	grant := false
+	if term == n.term && (n.votedFor == -1 || n.votedFor == candidate.id) {
+		// Candidate's log must be at least as up to date.
+		myLastIdx := len(n.log) - 1
+		myLastTerm := 0
+		if myLastIdx >= 0 {
+			myLastTerm = n.log[myLastIdx].term
+		}
+		if lastTerm > myLastTerm || (lastTerm == myLastTerm && lastIdx >= myLastIdx) {
+			grant = true
+			n.votedFor = candidate.id
+			c.resetElectionTimer(n)
+		}
+	}
+	if !grant {
+		return
+	}
+	votedTerm := term
+	c.send(n, candidate, 32, func() {
+		c.onVote(candidate, n.id, votedTerm)
+	})
+}
+
+func (c *Cluster) onVote(n *Node, from, term int) {
+	if n.crashed || n.role != Candidate || term != n.term {
+		return
+	}
+	n.votes[from] = true
+	if len(n.votes) <= len(c.nodes)/2 {
+		return
+	}
+	// Won the election.
+	n.role = Leader
+	n.nextIndex = make([]int, len(c.nodes))
+	n.matchIndex = make([]int, len(c.nodes))
+	for i := range n.nextIndex {
+		n.nextIndex[i] = len(n.log)
+		n.matchIndex[i] = -1
+	}
+	n.matchIndex[n.id] = len(n.log) - 1
+	if n.electionTimer != nil {
+		n.electionTimer.Cancel()
+	}
+	for _, peer := range c.nodes {
+		if peer != n {
+			c.sendAppend(n, peer)
+		}
+	}
+	hb, err := c.sim.Every(c.cfg.HeartbeatInterval, func() {
+		if n.crashed || n.role != Leader {
+			if n.heartbeat != nil {
+				n.heartbeat.Stop()
+				n.heartbeat = nil
+			}
+			return
+		}
+		for _, peer := range c.nodes {
+			if peer != n {
+				c.sendAppend(n, peer)
+			}
+		}
+	})
+	if err == nil {
+		n.heartbeat = hb
+	}
+}
+
+func (c *Cluster) stepDown(n *Node, term int) {
+	n.term = term
+	n.role = Follower
+	n.votedFor = -1
+	if n.heartbeat != nil {
+		n.heartbeat.Stop()
+		n.heartbeat = nil
+	}
+	c.resetElectionTimer(n)
+}
+
+// sendAppend ships log entries (or a heartbeat) from leader to peer.
+func (c *Cluster) sendAppend(leader, peer *Node) {
+	if leader.crashed || leader.role != Leader {
+		return
+	}
+	next := leader.nextIndex[peer.id]
+	if next < 0 {
+		next = 0
+	}
+	prevIdx := next - 1
+	prevTerm := 0
+	if prevIdx >= 0 && prevIdx < len(leader.log) {
+		prevTerm = leader.log[prevIdx].term
+	}
+	entries := make([]entry, len(leader.log)-next)
+	copy(entries, leader.log[next:])
+	size := 64 + c.cfg.ReqSize*len(entries)
+	term := leader.term
+	commit := leader.commit
+	c.send(leader, peer, size, func() {
+		c.onAppend(peer, leader, term, prevIdx, prevTerm, entries, commit)
+	})
+}
+
+func (c *Cluster) onAppend(n, leader *Node, term, prevIdx, prevTerm int, entries []entry, leaderCommit int) {
+	if n.crashed {
+		return
+	}
+	if term < n.term {
+		return
+	}
+	if term > n.term || n.role == Candidate {
+		c.stepDown(n, term)
+	}
+	c.resetElectionTimer(n)
+	// Consistency check.
+	if prevIdx >= 0 {
+		if prevIdx >= len(n.log) || n.log[prevIdx].term != prevTerm {
+			// Reject: leader will back off nextIndex.
+			c.send(n, leader, 32, func() {
+				c.onAppendReply(leader, n, term, false, -1)
+			})
+			return
+		}
+	}
+	// Append/overwrite entries.
+	for i, e := range entries {
+		idx := prevIdx + 1 + i
+		if idx < len(n.log) {
+			if n.log[idx].term != e.term {
+				n.log = n.log[:idx]
+				n.log = append(n.log, e)
+			}
+		} else {
+			n.log = append(n.log, e)
+		}
+	}
+	matched := prevIdx + len(entries)
+	if leaderCommit > n.commit {
+		n.commit = min(leaderCommit, len(n.log)-1)
+		c.apply(n)
+	}
+	c.send(n, leader, 32, func() {
+		c.onAppendReply(leader, n, term, true, matched)
+	})
+}
+
+func (c *Cluster) onAppendReply(leader, from *Node, term int, ok bool, matched int) {
+	if leader.crashed || leader.role != Leader || term != leader.term {
+		return
+	}
+	if !ok {
+		if leader.nextIndex[from.id] > 0 {
+			leader.nextIndex[from.id]--
+		}
+		c.sendAppend(leader, from)
+		return
+	}
+	if matched > leader.matchIndex[from.id] {
+		leader.matchIndex[from.id] = matched
+	}
+	if matched+1 > leader.nextIndex[from.id] {
+		leader.nextIndex[from.id] = matched + 1
+	}
+	// Advance commit index: the largest N replicated on a majority with an
+	// entry from the current term.
+	idxs := make([]int, len(leader.matchIndex))
+	copy(idxs, leader.matchIndex)
+	sort.Ints(idxs)
+	majority := idxs[(len(idxs)-1)/2]
+	for n := majority; n > leader.commit; n-- {
+		if n < len(leader.log) && leader.log[n].term == leader.term {
+			leader.commit = n
+			c.apply(leader)
+			break
+		}
+	}
+}
+
+// apply runs newly committed entries; leader applications account latency.
+func (c *Cluster) apply(n *Node) {
+	for n.applied < n.commit {
+		n.applied++
+		e := n.log[n.applied]
+		if c.onApply != nil {
+			c.onApply(n.id, n.applied, e.req)
+		}
+		if n.role == Leader {
+			c.committed++
+			c.latency = append(c.latency, c.sim.Now()-e.req.SubmittedAt)
+		}
+	}
+}
+
+func (c *Cluster) send(from, to *Node, size int, deliver func()) {
+	c.msgs++
+	c.bytes += int64(size)
+	c.net.Send(from.addr, to.addr, size, func() {
+		if to.crashed {
+			return
+		}
+		deliver()
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// LoadStats summarizes a load run.
+type LoadStats struct {
+	Committed   int
+	TPS         float64
+	MeanLatency time.Duration
+	P99Latency  time.Duration
+	Dropped     int
+}
+
+// RunLoad elects a leader, drives requests at the given rate for the given
+// duration, and reports throughput/latency. Requests offered while no
+// leader is known count as Dropped.
+func (c *Cluster) RunLoad(rate float64, duration time.Duration) (LoadStats, error) {
+	if rate <= 0 || duration <= 0 {
+		return LoadStats{}, errors.New("raft: rate and duration must be positive")
+	}
+	c.Start()
+	// Let the first election settle.
+	if err := c.sim.RunFor(2 * c.cfg.ElectionTimeoutMax); err != nil {
+		return LoadStats{}, err
+	}
+	rng := c.sim.Stream("raft.load")
+	mean := time.Duration(float64(time.Second) / rate)
+	start := c.sim.Now()
+	dropped := 0
+	id := 0
+	var submit func()
+	submit = func() {
+		if c.sim.Now()-start >= duration {
+			return
+		}
+		if !c.Submit(Request{ID: id, SubmittedAt: c.sim.Now()}) {
+			dropped++
+		}
+		id++
+		c.sim.After(rng.ExpDuration(mean), submit)
+	}
+	submit()
+	if err := c.sim.RunUntil(start + duration + 5*time.Second); err != nil {
+		return LoadStats{}, err
+	}
+	st := LoadStats{
+		Committed: c.committed,
+		TPS:       float64(c.committed) / duration.Seconds(),
+		Dropped:   dropped,
+	}
+	if len(c.latency) > 0 {
+		var sum time.Duration
+		sample := make([]time.Duration, len(c.latency))
+		copy(sample, c.latency)
+		for _, d := range sample {
+			sum += d
+		}
+		sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+		st.MeanLatency = sum / time.Duration(len(sample))
+		st.P99Latency = sample[(len(sample)-1)*99/100]
+	}
+	return st, nil
+}

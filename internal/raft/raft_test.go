@@ -1,0 +1,256 @@
+package raft
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+)
+
+func newCluster(t *testing.T, n int, seed int64) (*sim.Sim, *Cluster) {
+	t.Helper()
+	s := sim.New(sim.WithSeed(seed))
+	nm := netmodel.New(s, netmodel.WithJitter(0.1))
+	c, err := NewCluster(s, nm, n, netmodel.Europe, Config{})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	return s, c
+}
+
+func TestValidation(t *testing.T) {
+	s := sim.New()
+	nm := netmodel.New(s)
+	if _, err := NewCluster(s, nm, 2, netmodel.Europe, Config{}); err == nil {
+		t.Fatal("even n should error")
+	}
+	if _, err := NewCluster(s, nm, 1, netmodel.Europe, Config{}); err == nil {
+		t.Fatal("n=1 should error")
+	}
+}
+
+func TestElectsSingleLeader(t *testing.T) {
+	s, c := newCluster(t, 5, 1)
+	c.Start()
+	if err := s.RunUntil(5 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	leaders := 0
+	var leaderTerm int
+	for _, n := range c.Nodes() {
+		if n.Role() == Leader {
+			leaders++
+			leaderTerm = n.Term()
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("leaders = %d, want exactly 1", leaders)
+	}
+	// All nodes should share the leader's term.
+	for _, n := range c.Nodes() {
+		if n.Term() != leaderTerm {
+			t.Fatalf("node %d term %d != leader term %d", n.ID(), n.Term(), leaderTerm)
+		}
+	}
+}
+
+func TestReplicatesAndCommits(t *testing.T) {
+	s, c := newCluster(t, 5, 2)
+	c.Start()
+	if err := s.RunUntil(5 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if !c.Submit(Request{ID: i, SubmittedAt: s.Now()}) {
+			t.Fatal("Submit failed with an elected leader")
+		}
+	}
+	if err := s.RunUntil(10 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if c.Committed() != 10 {
+		t.Fatalf("Committed = %d, want 10", c.Committed())
+	}
+	// Every live node converges to the same commit index.
+	for _, n := range c.Nodes() {
+		if n.CommitIndex() != 9 {
+			t.Fatalf("node %d commit = %d, want 9", n.ID(), n.CommitIndex())
+		}
+	}
+}
+
+func TestLogConsistencyProperty(t *testing.T) {
+	s, c := newCluster(t, 5, 3)
+	applied := make(map[int]map[int]int) // index -> node -> req id
+	c.OnApply(func(node, index int, req Request) {
+		if applied[index] == nil {
+			applied[index] = make(map[int]int)
+		}
+		applied[index][node] = req.ID
+	})
+	c.Start()
+	if err := s.RunUntil(5 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		i := i
+		s.After(time.Duration(i)*20*time.Millisecond, func() {
+			c.Submit(Request{ID: i, SubmittedAt: s.Now()})
+		})
+	}
+	if err := s.RunUntil(30 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// State-machine safety: all nodes apply the same request at each index.
+	for idx, byNode := range applied {
+		var want = -1
+		for node, id := range byNode {
+			if want == -1 {
+				want = id
+			} else if id != want {
+				t.Fatalf("index %d applied as %d at one node and %d at node %d", idx, want, id, node)
+			}
+		}
+	}
+}
+
+func TestLeaderFailover(t *testing.T) {
+	s, c := newCluster(t, 5, 4)
+	c.Start()
+	if err := s.RunUntil(5 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	old := c.Leader()
+	if old == nil {
+		t.Fatal("no initial leader")
+	}
+	c.Crash(old.ID())
+	if err := s.RunUntil(15 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	replacement := c.Leader()
+	if replacement == nil {
+		t.Fatal("no new leader after crash")
+	}
+	if replacement.ID() == old.ID() {
+		t.Fatal("crashed node still leader")
+	}
+	if !c.Submit(Request{ID: 99, SubmittedAt: s.Now()}) {
+		t.Fatal("Submit after failover failed")
+	}
+	if err := s.RunUntil(20 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if c.Committed() == 0 {
+		t.Fatal("nothing committed after failover")
+	}
+}
+
+func TestMinorityCrashTolerated(t *testing.T) {
+	s, c := newCluster(t, 5, 5)
+	c.Start()
+	if err := s.RunUntil(5 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Crash two non-leader nodes (minority).
+	crashed := 0
+	for _, n := range c.Nodes() {
+		if n.Role() != Leader && crashed < 2 {
+			c.Crash(n.ID())
+			crashed++
+		}
+	}
+	for i := 0; i < 5; i++ {
+		c.Submit(Request{ID: i, SubmittedAt: s.Now()})
+	}
+	if err := s.RunUntil(15 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if c.Committed() != 5 {
+		t.Fatalf("Committed = %d with minority down, want 5", c.Committed())
+	}
+}
+
+func TestMajorityCrashBlocks(t *testing.T) {
+	s, c := newCluster(t, 5, 6)
+	c.Start()
+	if err := s.RunUntil(5 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Crash three nodes including whoever is leader.
+	leader := c.Leader()
+	c.Crash(leader.ID())
+	crashed := 1
+	for _, n := range c.Nodes() {
+		if n.ID() != leader.ID() && crashed < 3 {
+			c.Crash(n.ID())
+			crashed++
+		}
+	}
+	if err := s.RunUntil(20 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if c.Leader() != nil {
+		t.Fatal("a leader exists without a quorum")
+	}
+	if c.Submit(Request{ID: 1, SubmittedAt: s.Now()}) {
+		t.Fatal("Submit should fail without a leader")
+	}
+}
+
+func TestRecoveredNodeCatchesUp(t *testing.T) {
+	s, c := newCluster(t, 3, 7)
+	c.Start()
+	if err := s.RunUntil(5 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var victim *Node
+	for _, n := range c.Nodes() {
+		if n.Role() != Leader {
+			victim = n
+			break
+		}
+	}
+	c.Crash(victim.ID())
+	for i := 0; i < 10; i++ {
+		c.Submit(Request{ID: i, SubmittedAt: s.Now()})
+	}
+	if err := s.RunUntil(10 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	c.Recover(victim.ID())
+	if err := s.RunUntil(20 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if victim.CommitIndex() != 9 {
+		t.Fatalf("recovered node commit = %d, want 9", victim.CommitIndex())
+	}
+}
+
+func TestRunLoadThroughput(t *testing.T) {
+	s, c := newCluster(t, 5, 8)
+	st, err := c.RunLoad(1000, 10*time.Second)
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	_ = s
+	if st.TPS < 800 {
+		t.Fatalf("TPS = %v, want ~1000", st.TPS)
+	}
+	if st.MeanLatency > 500*time.Millisecond {
+		t.Fatalf("mean latency = %v, want one-RTT commits", st.MeanLatency)
+	}
+	if st.Dropped > 50 {
+		t.Fatalf("Dropped = %d, want few", st.Dropped)
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if Follower.String() != "follower" || Candidate.String() != "candidate" || Leader.String() != "leader" {
+		t.Fatal("Role strings wrong")
+	}
+	if Role(0).String() != "unknown" {
+		t.Fatal("zero Role should be unknown")
+	}
+}

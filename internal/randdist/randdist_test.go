@@ -1,0 +1,187 @@
+package randdist
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func rng() *sim.RNG { return sim.NewRNG(42) }
+
+func TestExponentialMean(t *testing.T) {
+	g := rng()
+	const n = 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += Exponential(g, 3.0)
+	}
+	mean := sum / n
+	if math.Abs(mean-3.0) > 0.1 {
+		t.Fatalf("mean = %v, want ~3", mean)
+	}
+}
+
+func TestExponentialBadMean(t *testing.T) {
+	if Exponential(rng(), 0) != 0 || Exponential(rng(), -1) != 0 {
+		t.Fatal("non-positive mean must yield 0")
+	}
+}
+
+func TestParetoProperties(t *testing.T) {
+	g := rng()
+	const n = 50000
+	var sum float64
+	minSeen := math.Inf(1)
+	for i := 0; i < n; i++ {
+		x := Pareto(g, 2.0, 3.0)
+		if x < 2.0 {
+			t.Fatalf("Pareto sample %v below scale 2.0", x)
+		}
+		if x < minSeen {
+			minSeen = x
+		}
+		sum += x
+	}
+	// E[X] = alpha*xm/(alpha-1) = 3 for xm=2, alpha=3.
+	mean := sum / n
+	if math.Abs(mean-3.0) > 0.15 {
+		t.Fatalf("Pareto mean = %v, want ~3", mean)
+	}
+	if minSeen > 2.2 {
+		t.Fatalf("Pareto min = %v, expected values near scale", minSeen)
+	}
+}
+
+func TestParetoHeavyTail(t *testing.T) {
+	// A heavy-tail (alpha=1.1) distribution should produce a max far above
+	// its median over many draws.
+	g := rng()
+	var max, count5x float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		x := Pareto(g, 1, 1.1)
+		if x > max {
+			max = x
+		}
+		if x > 5 {
+			count5x++
+		}
+	}
+	if max < 100 {
+		t.Fatalf("heavy tail max = %v, expected extreme values", max)
+	}
+	// P(X>5) = 5^-1.1 ~ 0.17
+	frac := count5x / n
+	if frac < 0.12 || frac > 0.22 {
+		t.Fatalf("P(X>5) = %v, want ~0.17", frac)
+	}
+}
+
+func TestWeibullMean(t *testing.T) {
+	g := rng()
+	// k=1 reduces to exponential with mean = scale.
+	const n = 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += Weibull(g, 1.0, 2.0)
+	}
+	if mean := sum / n; math.Abs(mean-2.0) > 0.1 {
+		t.Fatalf("Weibull(1,2) mean = %v, want ~2", mean)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	g := rng()
+	const n = 50001
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = LogNormal(g, 1.0, 0.5)
+	}
+	// Median of lognormal is e^mu.
+	sort.Float64s(xs)
+	med := xs[len(xs)/2]
+	if math.Abs(med-math.E) > 0.15 {
+		t.Fatalf("median = %v, want ~e", med)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := rng()
+	z := NewZipf(g, 1.2, 1000)
+	if z == nil {
+		t.Fatal("NewZipf returned nil for valid params")
+	}
+	counts := make(map[int]int)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		r := z.Rank()
+		if r < 1 || r > 1000 {
+			t.Fatalf("rank %d out of [1,1000]", r)
+		}
+		counts[r]++
+	}
+	if counts[1] <= counts[10] {
+		t.Fatalf("rank 1 (%d) should dominate rank 10 (%d)", counts[1], counts[10])
+	}
+	top10 := 0
+	for r := 1; r <= 10; r++ {
+		top10 += counts[r]
+	}
+	if frac := float64(top10) / n; frac < 0.5 {
+		t.Fatalf("top-10 share = %v, want majority for s=1.2", frac)
+	}
+}
+
+func TestZipfInvalid(t *testing.T) {
+	if NewZipf(rng(), 0.5, 100) != nil {
+		t.Fatal("s<=1 must return nil")
+	}
+	if NewZipf(rng(), 2, 0) != nil {
+		t.Fatal("n<=0 must return nil")
+	}
+	var z *Zipf
+	if z.Rank() != 1 {
+		t.Fatal("nil Zipf Rank should degrade to 1")
+	}
+}
+
+func TestDiscrete(t *testing.T) {
+	g := rng()
+	weights := []float64{0, 1, 3, 0, 6}
+	counts := make([]int, len(weights))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[Discrete(g, weights)]++
+	}
+	if counts[0] != 0 || counts[3] != 0 {
+		t.Fatalf("zero-weight indices selected: %v", counts)
+	}
+	f1 := float64(counts[1]) / n
+	f4 := float64(counts[4]) / n
+	if math.Abs(f1-0.1) > 0.01 || math.Abs(f4-0.6) > 0.01 {
+		t.Fatalf("weights not respected: %v", counts)
+	}
+}
+
+func TestDiscreteDegenerate(t *testing.T) {
+	g := rng()
+	if Discrete(g, nil) != 0 {
+		t.Fatal("empty weights should return 0")
+	}
+	if Discrete(g, []float64{0, 0}) != 0 {
+		t.Fatal("all-zero weights should return 0")
+	}
+}
+
+func TestParetoDurationCap(t *testing.T) {
+	g := rng()
+	for i := 0; i < 1000; i++ {
+		d := ParetoDuration(g, time.Second, 1.1, time.Minute)
+		if d < time.Second || d > time.Minute {
+			t.Fatalf("capped Pareto duration %v outside [1s,1m]", d)
+		}
+	}
+}

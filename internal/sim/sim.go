@@ -1,0 +1,244 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All simulated systems in this repository (overlays, blockchains, consensus
+// protocols, edge topologies) are driven by a single Sim instance: events are
+// callbacks scheduled at virtual timestamps, executed strictly in (time,
+// sequence) order from a binary heap. There is no wall-clock dependence and no
+// concurrency inside a run, so a (seed, configuration) pair always reproduces
+// the same trajectory bit-for-bit.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// ErrStopped is returned by Run variants when the simulation was halted by an
+// explicit call to Stop rather than by reaching its natural end.
+var ErrStopped = errors.New("sim: stopped")
+
+// Event is a scheduled callback. It is returned by the scheduling methods so
+// callers can cancel it before it fires.
+type Event struct {
+	at       time.Duration
+	seq      uint64
+	fn       func()
+	index    int // position in the heap, -1 once popped or canceled
+	canceled bool
+}
+
+// Cancel prevents the event from firing. Canceling an event that has already
+// fired (or was already canceled) is a no-op.
+func (e *Event) Cancel() {
+	if e == nil {
+		return
+	}
+	e.canceled = true
+}
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e != nil && e.canceled }
+
+// At returns the virtual time the event is scheduled to fire.
+func (e *Event) At() time.Duration { return e.at }
+
+// Sim is a discrete-event simulator. The zero value is not usable; construct
+// instances with New.
+type Sim struct {
+	queue   eventQueue
+	now     time.Duration
+	seq     uint64
+	fired   uint64
+	stopped bool
+	seed    int64
+	streams map[string]*RNG
+}
+
+// Option configures a Sim created by New.
+type Option func(*Sim)
+
+// WithSeed sets the master seed from which all named RNG streams are derived.
+// Runs with equal seeds and equal event orderings are identical.
+func WithSeed(seed int64) Option {
+	return func(s *Sim) { s.seed = seed }
+}
+
+// New constructs an empty simulator positioned at virtual time zero.
+func New(opts ...Option) *Sim {
+	s := &Sim{
+		seed:    1,
+		streams: make(map[string]*RNG),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Now returns the current virtual time, measured from the start of the run.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Sim) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events currently scheduled (including
+// canceled events that have not yet been discarded).
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// Seed returns the master seed the simulator was created with.
+func (s *Sim) Seed() int64 { return s.seed }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// is an error surfaced by returning a nil event and scheduling nothing; the
+// simulator deliberately never panics on behalf of library callers.
+func (s *Sim) At(t time.Duration, fn func()) *Event {
+	if t < s.now || fn == nil {
+		return nil
+	}
+	ev := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current virtual time. Negative delays
+// are clamped to zero so the event fires "immediately" (after already-queued
+// events at the current instant).
+func (s *Sim) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Ticker repeatedly schedules a callback at a fixed period until stopped.
+type Ticker struct {
+	sim     *Sim
+	period  time.Duration
+	fn      func()
+	next    *Event
+	stopped bool
+}
+
+// Every starts a ticker whose callback first fires after one period and then
+// every period thereafter. It returns an error for non-positive periods.
+func (s *Sim) Every(period time.Duration, fn func()) (*Ticker, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("sim: ticker period %v is not positive", period)
+	}
+	if fn == nil {
+		return nil, errors.New("sim: ticker callback is nil")
+	}
+	t := &Ticker{sim: s, period: period, fn: fn}
+	t.schedule()
+	return t, nil
+}
+
+func (t *Ticker) schedule() {
+	t.next = t.sim.After(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.schedule()
+		}
+	})
+}
+
+// Stop halts the ticker. It is safe to call multiple times.
+func (t *Ticker) Stop() {
+	if t == nil || t.stopped {
+		return
+	}
+	t.stopped = true
+	t.next.Cancel()
+}
+
+// Stop halts the simulation: the current Run call returns ErrStopped after
+// the in-flight event completes.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called. It returns
+// nil on natural exhaustion and ErrStopped otherwise.
+func (s *Sim) Run() error {
+	return s.RunUntil(time.Duration(math.MaxInt64))
+}
+
+// RunFor executes events for d of virtual time from now, then returns. The
+// clock is advanced to now+d even if the queue empties earlier, so subsequent
+// scheduling is relative to the horizon.
+func (s *Sim) RunFor(d time.Duration) error {
+	if d < 0 {
+		d = 0
+	}
+	return s.RunUntil(s.now + d)
+}
+
+// RunUntil executes events with timestamps <= horizon, then sets the clock to
+// horizon. It returns ErrStopped if Stop was called, nil otherwise.
+func (s *Sim) RunUntil(horizon time.Duration) error {
+	s.stopped = false
+	for len(s.queue) > 0 {
+		next := s.queue[0]
+		if next.at > horizon {
+			break
+		}
+		heap.Pop(&s.queue)
+		if next.canceled {
+			continue
+		}
+		s.now = next.at
+		s.fired++
+		next.fn()
+		if s.stopped {
+			return ErrStopped
+		}
+	}
+	if horizon > s.now && horizon != time.Duration(math.MaxInt64) {
+		s.now = horizon
+	}
+	return nil
+}
+
+// eventQueue is a binary min-heap ordered by (at, seq); seq breaks ties so
+// that same-instant events fire in scheduling order, keeping runs
+// deterministic.
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

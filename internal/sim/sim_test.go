@@ -1,0 +1,280 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var got []int
+	s.At(3*time.Second, func() { got = append(got, 3) })
+	s.At(1*time.Second, func() { got = append(got, 1) })
+	s.At(2*time.Second, func() { got = append(got, 2) })
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if got[i] != v {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { got = append(got, i) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestAfterAdvancesClock(t *testing.T) {
+	s := New()
+	var at time.Duration
+	s.After(5*time.Second, func() {
+		at = s.Now()
+		s.After(2*time.Second, func() { at = s.Now() })
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != 7*time.Second {
+		t.Fatalf("Now at final event = %v, want 7s", at)
+	}
+}
+
+func TestSchedulePastReturnsNil(t *testing.T) {
+	s := New()
+	s.After(time.Second, func() {
+		if ev := s.At(0, func() {}); ev != nil {
+			t.Error("scheduling in the past should return nil")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	ev := s.After(time.Second, func() { fired = true })
+	ev.Cancel()
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	s := New()
+	var fired []time.Duration
+	for _, d := range []time.Duration{time.Second, 2 * time.Second, 5 * time.Second} {
+		d := d
+		s.At(d, func() { fired = append(fired, d) })
+	}
+	if err := s.RunUntil(3 * time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events before horizon, want 2", len(fired))
+	}
+	if s.Now() != 3*time.Second {
+		t.Fatalf("Now = %v after RunUntil(3s), want 3s", s.Now())
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events total, want 3", len(fired))
+	}
+}
+
+func TestRunForAdvancesEvenWhenEmpty(t *testing.T) {
+	s := New()
+	if err := s.RunFor(time.Minute); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if s.Now() != time.Minute {
+		t.Fatalf("Now = %v, want 1m", s.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	s.At(time.Second, func() { count++; s.Stop() })
+	s.At(2*time.Second, func() { count++ })
+	if err := s.Run(); err != ErrStopped {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+	if count != 1 {
+		t.Fatalf("executed %d events after Stop, want 1", count)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := New()
+	ticks := 0
+	tk, err := s.Every(time.Second, func() { ticks++ })
+	if err != nil {
+		t.Fatalf("Every: %v", err)
+	}
+	if err := s.RunUntil(5500 * time.Millisecond); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if ticks != 5 {
+		t.Fatalf("ticks = %d, want 5", ticks)
+	}
+	tk.Stop()
+	if err := s.RunUntil(time.Minute); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if ticks != 5 {
+		t.Fatalf("ticker fired after Stop: ticks = %d", ticks)
+	}
+}
+
+func TestTickerBadPeriod(t *testing.T) {
+	s := New()
+	if _, err := s.Every(0, func() {}); err == nil {
+		t.Fatal("Every(0) should error")
+	}
+	if _, err := s.Every(time.Second, nil); err == nil {
+		t.Fatal("Every(nil fn) should error")
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	a := New(WithSeed(42)).Stream("net")
+	b := New(WithSeed(42)).Stream("net")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("equal seeds and stream names must produce equal streams")
+		}
+	}
+}
+
+func TestStreamIndependence(t *testing.T) {
+	s := New(WithSeed(42))
+	a, b := s.Stream("a"), s.Stream("b")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams 'a' and 'b' coincide %d/64 times; expected independence", same)
+	}
+	if s.Stream("a") != a {
+		t.Fatal("Stream must return the same object for the same name")
+	}
+}
+
+func TestRNGBoolEdges(t *testing.T) {
+	g := NewRNG(1)
+	for i := 0; i < 10; i++ {
+		if g.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !g.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestRNGIntnNonPositive(t *testing.T) {
+	g := NewRNG(1)
+	if g.Intn(0) != 0 || g.Intn(-5) != 0 {
+		t.Fatal("Intn with non-positive bound should return 0")
+	}
+}
+
+func TestExpDurationMean(t *testing.T) {
+	g := NewRNG(7)
+	const n = 20000
+	var sum time.Duration
+	for i := 0; i < n; i++ {
+		sum += g.ExpDuration(time.Second)
+	}
+	mean := float64(sum) / n
+	if mean < 0.9*float64(time.Second) || mean > 1.1*float64(time.Second) {
+		t.Fatalf("empirical mean %v, want ~1s", time.Duration(mean))
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	g := NewRNG(3)
+	base := 100 * time.Millisecond
+	for i := 0; i < 1000; i++ {
+		d := g.Jitter(base, 0.2)
+		if d < 80*time.Millisecond || d > 120*time.Millisecond {
+			t.Fatalf("jittered %v outside [80ms,120ms]", d)
+		}
+	}
+	if g.Jitter(base, 0) != base {
+		t.Fatal("zero jitter must be identity")
+	}
+}
+
+// Property: for any schedule of non-negative delays, events fire in
+// non-decreasing time order and the count matches.
+func TestPropertyEventOrder(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := New()
+		var times []time.Duration
+		for _, d := range delays {
+			at := time.Duration(d) * time.Millisecond
+			s.At(at, func() { times = append(times, s.Now()) })
+		}
+		if err := s.Run(); err != nil {
+			return false
+		}
+		if len(times) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFiredCount(t *testing.T) {
+	s := New()
+	for i := 0; i < 25; i++ {
+		s.At(time.Duration(i)*time.Millisecond, func() {})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.Fired() != 25 {
+		t.Fatalf("Fired = %d, want 25", s.Fired())
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", s.Pending())
+	}
+}
