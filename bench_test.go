@@ -1,6 +1,6 @@
 package decent
 
-// One benchmark per experiment (E01–E17): each regenerates its paper
+// One benchmark per experiment (E01–E18): each regenerates its paper
 // claim's table/figure at a reduced scale and reports the experiment's key
 // metric alongside ns/op. Run with:
 //

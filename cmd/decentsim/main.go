@@ -1,87 +1,402 @@
-// Command decentsim runs the paper-reproduction experiments.
+// Command decentsim runs the paper-reproduction experiments, singly or as
+// parallel multi-seed sweeps.
 //
 // Usage:
 //
-//	decentsim list                 # show all experiments
-//	decentsim run E06 E13          # run specific experiments
-//	decentsim run all              # run everything
+//	decentsim list                     # show all experiments
+//	decentsim run E06 E13              # run specific experiments
+//	decentsim run all                  # run everything (errors collected, reported at exit)
 //	decentsim -seed 7 -scale 0.5 run E03
-//	decentsim -csv run E06         # emit tables as CSV
+//	decentsim run -csv E06             # emit tables as CSV
+//	decentsim run -json -parallel 4 all
+//	decentsim sweep -parallel 8 -json -seeds 1..10 E03 E06
+//	decentsim sweep -seeds 1..5 -set e03.lookups=100,200 E03
+//	decentsim rep -n 10 E06            # replicate over seeds 1..n, aggregate
+//
+// Flags may appear before or after the subcommand. sweep and rep emit an
+// aggregate report (per-metric mean/stddev/95%-CI and a majority-vote
+// shape verdict per check) that is byte-identical at any -parallel value.
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"maps"
+	"math"
 	"os"
+	"slices"
 	"strings"
 
 	decent "repro"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "decentsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
-	fs := flag.NewFlagSet("decentsim", flag.ContinueOnError)
-	seed := fs.Int64("seed", 1, "master random seed")
-	scale := fs.Float64("scale", 1, "workload scale factor (smaller = faster)")
-	csv := fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
-	if err := fs.Parse(args); err != nil {
+// options holds every flag; the same set is registered globally and per
+// subcommand so flags work in either position.
+type options struct {
+	seed     int64
+	scale    float64
+	csv      bool
+	json     bool
+	parallel int
+	seeds    string
+	scales   string
+	reps     int
+	set      knobFlags
+}
+
+// knobFlags collects repeatable -set name=v1,v2 knob specifications.
+type knobFlags struct {
+	params map[string][]float64
+}
+
+func (k *knobFlags) String() string { return "" }
+
+func (k *knobFlags) Set(spec string) error {
+	name, vals, err := decent.ParseParam(spec)
+	if err != nil {
 		return err
 	}
-	rest := fs.Args()
-	if len(rest) == 0 {
-		fs.Usage()
-		return fmt.Errorf("expected a command: list | run <ids|all>")
+	known := decent.Knobs()
+	if _, ok := known[name]; !ok {
+		return fmt.Errorf("unknown knob %q (known: %s)", name,
+			strings.Join(slices.Sorted(maps.Keys(known)), ", "))
 	}
+	if k.params == nil {
+		k.params = make(map[string][]float64)
+	}
+	if _, dup := k.params[name]; dup {
+		return fmt.Errorf("knob %s given twice; list all values in one -set %s=v1,v2", name, name)
+	}
+	k.params[name] = vals
+	return nil
+}
+
+func (o *options) register(fs *flag.FlagSet) {
+	fs.Int64Var(&o.seed, "seed", o.seed, "master random seed for single runs (>= 1)")
+	fs.Float64Var(&o.scale, "scale", o.scale, "workload scale factor (smaller = faster)")
+	fs.BoolVar(&o.csv, "csv", o.csv, "emit CSV instead of aligned text")
+	fs.BoolVar(&o.json, "json", o.json, "emit JSON instead of text")
+	fs.IntVar(&o.parallel, "parallel", o.parallel, "worker goroutines (0 = GOMAXPROCS)")
+	fs.StringVar(&o.seeds, "seeds", o.seeds, "sweep/rep seed list, e.g. 1..10 or 1,3,9 (default: sweep 1..5, rep 1..n)")
+	fs.StringVar(&o.scales, "scales", o.scales, "sweep scale list, e.g. 0.25,0.5,1 (default: -scale)")
+	fs.IntVar(&o.reps, "n", o.reps, "rep: replication count, seeds 1..n (conflicts with -seeds)")
+	fs.Var(&o.set, "set", "sweep knob values, e.g. -set e03.lookups=100,200 (repeatable)")
+}
+
+func run(args []string, out io.Writer) error {
+	opts := options{seed: 1, scale: 1, reps: 10}
+	global := flag.NewFlagSet("decentsim", flag.ContinueOnError)
+	opts.register(global)
+	if err := global.Parse(args); err != nil {
+		return err
+	}
+	rest := global.Args()
+	if len(rest) == 0 {
+		return errors.New("expected a command: list | run <ids|all> | sweep <ids|all> | rep <ids|all>")
+	}
+	cmd, rest := rest[0], rest[1:]
+	// Subcommand flags: re-register over the already-parsed values so
+	// "decentsim sweep -parallel 8 E03" works like "-parallel 8 sweep E03".
+	sub := flag.NewFlagSet("decentsim "+cmd, flag.ContinueOnError)
+	opts.register(sub)
+	if err := sub.Parse(rest); err != nil {
+		return err
+	}
+	ids := sub.Args()
+
+	// Flags that don't apply to the chosen command are rejected rather
+	// than silently ignored (e.g. `run -seeds 1..10` is not a sweep).
+	provided := make(map[string]bool)
+	global.Visit(func(f *flag.Flag) { provided[f.Name] = true })
+	sub.Visit(func(f *flag.Flag) { provided[f.Name] = true })
+	inapplicable := map[string]map[string]string{
+		"run": {
+			"seeds":  "use the sweep or rep subcommand for multi-seed runs",
+			"scales": "use the sweep subcommand to cross scales",
+			"n":      "use the rep subcommand for replications",
+		},
+		"sweep": {
+			"seed": "use -seeds to choose sweep seeds",
+			"n":    "use -seeds, or the rep subcommand",
+		},
+		"rep": {
+			"seed":   "use -seeds or -n to choose replication seeds",
+			"scales": "rep replicates one scenario; use sweep to cross scales",
+		},
+	}
+	if cmd == "list" && len(provided) > 0 {
+		return errors.New("list: takes no flags")
+	}
+	for _, name := range slices.Sorted(maps.Keys(inapplicable[cmd])) {
+		if provided[name] {
+			return fmt.Errorf("%s: -%s does not apply; %s", cmd, name, inapplicable[cmd][name])
+		}
+	}
+	if opts.json && opts.csv {
+		return fmt.Errorf("%s: choose one of -json or -csv", cmd)
+	}
+	if cmd == "rep" && provided["n"] && provided["seeds"] {
+		return errors.New("rep: -n and -seeds conflict; choose one")
+	}
+	if provided["scale"] && provided["scales"] {
+		return fmt.Errorf("%s: -scale and -scales conflict; choose one", cmd)
+	}
+	if cmd == "run" && opts.seed < 1 {
+		return fmt.Errorf("run: -seed must be >= 1 (got %d)", opts.seed)
+	}
+	// core.Config would silently remap scale <= 0 to 1 while reports
+	// label the group with the raw value — reject up front instead.
+	// !(scale > 0) also catches NaN, which compares false to everything.
+	if cmd != "list" && (!(opts.scale > 0) || math.IsInf(opts.scale, 0)) {
+		return fmt.Errorf("%s: -scale must be a finite number > 0 (got %g)", cmd, opts.scale)
+	}
+
 	reg, err := decent.Experiments()
 	if err != nil {
 		return err
 	}
-	switch rest[0] {
+	switch cmd {
 	case "list":
+		if len(ids) > 0 {
+			return fmt.Errorf("list: takes no arguments (got %s)", strings.Join(ids, " "))
+		}
 		for _, e := range reg.All() {
-			fmt.Printf("%-5s %s\n      %s\n", e.ID(), e.Title(), e.Claim())
+			fmt.Fprintf(out, "%-5s %s\n      %s\n", e.ID(), e.Title(), e.Claim())
 		}
 		return nil
 	case "run":
-		ids := rest[1:]
-		if len(ids) == 0 {
-			return fmt.Errorf("run requires experiment ids or 'all'")
-		}
-		if len(ids) == 1 && strings.EqualFold(ids[0], "all") {
-			ids = ids[:0]
-			for _, e := range reg.All() {
-				ids = append(ids, e.ID())
-			}
-		}
-		cfg := decent.Config{Seed: *seed, Scale: *scale}
-		failures := 0
-		for _, id := range ids {
-			res, err := reg.Run(id, cfg)
-			if err != nil {
-				return fmt.Errorf("run %s: %w", id, err)
-			}
-			if *csv {
-				for _, t := range res.Tables {
-					fmt.Println(t.CSV())
-				}
-			} else {
-				fmt.Println(res)
-			}
-			if !res.Reproduced() {
-				failures++
-			}
-		}
-		if failures > 0 {
-			return fmt.Errorf("%d experiment(s) failed their shape checks", failures)
-		}
-		return nil
+		return runCmd(out, reg, &opts, ids)
+	case "sweep":
+		return sweepCmd(out, reg, &opts, ids, false)
+	case "rep":
+		return sweepCmd(out, reg, &opts, ids, true)
 	default:
-		return fmt.Errorf("unknown command %q (want list | run)", rest[0])
+		return fmt.Errorf("unknown command %q (want list | run | sweep | rep)", cmd)
 	}
+}
+
+// expandIDs resolves "all" and validates every id against the registry,
+// rejecting duplicates (a repeated id would be aggregated as extra
+// replications of the same scenario).
+func expandIDs(reg *decent.Registry, ids []string) ([]string, error) {
+	if len(ids) == 0 {
+		return nil, errors.New("requires experiment ids or 'all'")
+	}
+	if len(ids) == 1 && strings.EqualFold(ids[0], "all") {
+		ids = ids[:0]
+		for _, e := range reg.All() {
+			ids = append(ids, e.ID())
+		}
+		return ids, nil
+	}
+	seen := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		if _, err := reg.Get(id); err != nil {
+			return nil, err
+		}
+		up := strings.ToUpper(id)
+		if seen[up] {
+			return nil, fmt.Errorf("duplicate experiment id %s", up)
+		}
+		seen[up] = true
+	}
+	return ids, nil
+}
+
+// runCmd executes each experiment once. Errors do not abort the batch:
+// every experiment runs, then all errors are reported together.
+func runCmd(out io.Writer, reg *decent.Registry, opts *options, ids []string) error {
+	ids, err := expandIDs(reg, ids)
+	if err != nil {
+		return fmt.Errorf("run: %w", err)
+	}
+	if err := rejectMultiValueKnobs("run", opts.set.params); err != nil {
+		return err
+	}
+	// Expanding through Sweep reuses its knob-ownership rule: a knob
+	// prefixed for one selected experiment is not attached to the others.
+	grid := decent.Sweep{
+		Experiments: ids,
+		Seeds:       []int64{opts.seed},
+		Scales:      []float64{opts.scale},
+		Params:      opts.set.params,
+	}
+	// Knob ownership is validated by the same rule sweeps use.
+	if err := grid.Validate(); err != nil {
+		return fmt.Errorf("run: %w", err)
+	}
+	jobs := grid.Jobs()
+	// Text and CSV modes stream each result as soon as every earlier job
+	// has finished, so long batches show progress; output order stays the
+	// job order regardless of which worker finishes first. JSON must be a
+	// single document and is emitted at the end.
+	printResult := func(jr decent.JobResult) {
+		if jr.Err != nil {
+			return
+		}
+		if opts.csv {
+			for _, t := range jr.Result.Tables {
+				fmt.Fprintln(out, t.CSV())
+			}
+		} else {
+			fmt.Fprintln(out, jr.Result)
+		}
+	}
+	next := 0
+	pending := make(map[int]decent.JobResult, len(jobs))
+	runner := decent.Runner{Registry: reg, Workers: opts.parallel}
+	if !opts.json {
+		runner.OnResult = func(i int, jr decent.JobResult) {
+			pending[i] = jr
+			for {
+				jr, ok := pending[next]
+				if !ok {
+					break
+				}
+				printResult(jr)
+				delete(pending, next)
+				next++
+			}
+		}
+	}
+	results := runner.Run(jobs)
+	var runErrs []string
+	failures := 0
+	// runDoc mirrors the sweep JSON contract: errored runs stay in-band
+	// rather than only on stderr. Slices are non-nil so empty sections
+	// encode as [] rather than null.
+	type runError struct {
+		Experiment string `json:"experiment"`
+		Error      string `json:"error"`
+	}
+	runDoc := struct {
+		Results []*decent.Result `json:"results"`
+		Errors  []runError       `json:"errors"`
+	}{Results: []*decent.Result{}, Errors: []runError{}}
+	for _, jr := range results {
+		if jr.Err != nil {
+			// Canonical upper-case ids, as Aggregate and the registry emit.
+			id := strings.ToUpper(jr.Job.ExperimentID)
+			runErrs = append(runErrs, fmt.Sprintf("%s: %v", id, jr.Err))
+			runDoc.Errors = append(runDoc.Errors, runError{
+				Experiment: id,
+				Error:      jr.Err.Error(),
+			})
+			continue
+		}
+		if opts.json {
+			runDoc.Results = append(runDoc.Results, jr.Result)
+		}
+		if !jr.Result.Reproduced() {
+			failures++
+		}
+	}
+	if opts.json {
+		enc, err := json.MarshalIndent(runDoc, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, string(enc))
+	}
+	if len(runErrs) > 0 {
+		return fmt.Errorf("%d experiment(s) errored:\n  %s", len(runErrs), strings.Join(runErrs, "\n  "))
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d experiment(s) failed their shape checks", failures)
+	}
+	return nil
+}
+
+// rejectMultiValueKnobs enforces that single-scenario commands (run, rep)
+// take one value per knob: a multi-value knob is a sweep request, and
+// silently taking the first value would drop grid points.
+func rejectMultiValueKnobs(cmd string, params map[string][]float64) error {
+	for _, name := range slices.Sorted(maps.Keys(params)) {
+		if vals := params[name]; len(vals) > 1 {
+			return fmt.Errorf("%s: knob %s has %d values; use the sweep subcommand to cross knob values", cmd, name, len(vals))
+		}
+	}
+	return nil
+}
+
+// sweepCmd runs a multi-seed sweep (or, for rep, a pure replication) and
+// emits the aggregate report. Shape-check outcomes live in the report;
+// only run errors fail the command.
+func sweepCmd(out io.Writer, reg *decent.Registry, opts *options, ids []string, rep bool) error {
+	var err error
+	name := "sweep"
+	if rep {
+		name = "rep"
+	}
+	ids, err = expandIDs(reg, ids)
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	// Knob-ownership validation happens in decent.RunSweep (Sweep.Validate).
+	// rep replicates one scenario: a multi-value knob is a sweep request.
+	if rep {
+		if err := rejectMultiValueKnobs("rep", opts.set.params); err != nil {
+			return err
+		}
+	}
+	sweep := decent.Sweep{Experiments: ids, Params: opts.set.params}
+	switch {
+	case opts.seeds != "":
+		if sweep.Seeds, err = decent.ParseSeeds(opts.seeds); err != nil {
+			return err
+		}
+	case rep:
+		if opts.reps < 1 {
+			return fmt.Errorf("rep: -n must be >= 1 (got %d)", opts.reps)
+		}
+		if opts.reps > decent.MaxSeeds {
+			return fmt.Errorf("rep: -n %d exceeds the %d-seed cap", opts.reps, decent.MaxSeeds)
+		}
+		for s := int64(1); s <= int64(opts.reps); s++ {
+			sweep.Seeds = append(sweep.Seeds, s)
+		}
+	default:
+		sweep.Seeds = []int64{1, 2, 3, 4, 5}
+	}
+	if opts.scales != "" {
+		if sweep.Scales, err = decent.ParseScales(opts.scales); err != nil {
+			return err
+		}
+	} else {
+		sweep.Scales = []float64{opts.scale}
+	}
+	report, err := decent.RunSweep(sweep, opts.parallel)
+	if err != nil {
+		return err
+	}
+	switch {
+	case opts.json:
+		enc, err := report.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, string(enc))
+	case opts.csv:
+		fmt.Fprint(out, report.CSV())
+	default:
+		fmt.Fprint(out, report)
+	}
+	errs := 0
+	for _, g := range report.Groups {
+		errs += len(g.Errors)
+	}
+	if errs > 0 {
+		return fmt.Errorf("%s: %d run(s) errored (see report)", name, errs)
+	}
+	return nil
 }

@@ -1,0 +1,352 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestUnknownCommand(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"frobnicate"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "unknown command") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNoCommand(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("expected usage error")
+	}
+}
+
+func TestRunRequiresIDs(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"run"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "requires experiment ids") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"run", "E99"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSweepBadSeeds(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"sweep", "-seeds", "5..1", "E01"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "seed") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSweepBadKnob(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"sweep", "-set", "nonsense", "E01"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "knob") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnknownKnobRejected(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"sweep", "-set", "e03.lokups=100", "E03"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "unknown knob") || !strings.Contains(err.Error(), "e03.lookups") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInapplicableFlagsRejected(t *testing.T) {
+	var out bytes.Buffer
+	for _, tc := range []struct{ args []string }{
+		{[]string{"run", "-seeds", "1..10", "E01"}},
+		{[]string{"-seeds", "1..10", "run", "E01"}},
+		{[]string{"run", "-n", "5", "E01"}},
+		{[]string{"run", "-scales", "0.5,1", "E01"}},
+		{[]string{"sweep", "-seed", "7", "E01"}},
+		{[]string{"rep", "-seed", "7", "E01"}},
+	} {
+		err := run(tc.args, &out)
+		if err == nil || !strings.Contains(err.Error(), "does not apply") {
+			t.Fatalf("run(%v) err = %v, want inapplicable-flag error", tc.args, err)
+		}
+	}
+}
+
+func TestDuplicateIDsRejected(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"sweep", "-seeds", "1,2", "E03", "E03"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "duplicate experiment id") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDuplicateKnobFlagRejected(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"sweep", "-set", "e03.lookups=100", "-set", "e03.lookups=200", "E03"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "given twice") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestListRejectsFlags(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"list", "-json"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "takes no flags") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestKnobForUnselectedExperiment(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"sweep", "-seeds", "1,2", "-set", "e03.lookups=100,200", "E06"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "not among the selected") {
+		t.Fatalf("sweep err = %v", err)
+	}
+	err = run([]string{"run", "-set", "e03.lookups=100", "E06"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "not among the selected") {
+		t.Fatalf("run err = %v", err)
+	}
+}
+
+func TestRunJSONCarriesErrorsInBand(t *testing.T) {
+	var out bytes.Buffer
+	// The knob error fails E03 before any simulation runs.
+	runErr := run([]string{"run", "-json", "-set", "e03.nodes=50", "E03"}, &out)
+	if runErr == nil {
+		t.Fatal("expected the command to report the errored run")
+	}
+	var doc struct {
+		Results []json.RawMessage `json:"results"`
+		Errors  []struct {
+			Experiment string `json:"experiment"`
+			Error      string `json:"error"`
+		} `json:"errors"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("run -json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if doc.Results == nil || len(doc.Errors) != 1 || doc.Errors[0].Experiment != "E03" {
+		t.Fatalf("errors not in-band: %+v", doc)
+	}
+	if !strings.Contains(doc.Errors[0].Error, "measurement floor") {
+		t.Fatalf("error text = %q", doc.Errors[0].Error)
+	}
+}
+
+func TestKnobAboveMaximumRejected(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"run", "-set", "e03.nodes=1e19", "E03"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "above the maximum") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestIntegerKnobRejectsFraction(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"run", "-set", "e03.nodes=1500.4", "E03"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "must be an integer") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestListRejectsArguments(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"list", "E99"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "takes no arguments") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRepRejectsScalesAndMultiValueKnobs(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"rep", "-n", "3", "-scales", "0.25,0.5", "E06"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "does not apply") {
+		t.Fatalf("rep -scales err = %v", err)
+	}
+	err = run([]string{"rep", "-n", "3", "-set", "e03.lookups=100,200", "E03"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "sweep subcommand") {
+		t.Fatalf("rep multi-knob err = %v", err)
+	}
+}
+
+func TestRepConflictingSeedFlags(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"rep", "-n", "20", "-seeds", "1..3", "E06"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-n and -seeds conflict") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestScaleMustBePositive(t *testing.T) {
+	var out bytes.Buffer
+	for _, scale := range []string{"0", "-1", "NaN", "Inf"} {
+		err := run([]string{"sweep", "-scale", scale, "-seeds", "1..3", "E06"}, &out)
+		if err == nil || !strings.Contains(err.Error(), "-scale must be a finite number > 0") {
+			t.Fatalf("scale %s: err = %v", scale, err)
+		}
+	}
+}
+
+func TestKnobBelowMeasurementFloor(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"run", "-set", "e03.nodes=50", "E03"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "measurement floor") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestKnobClampedByScaleRejected(t *testing.T) {
+	var out bytes.Buffer
+	// 250 passes the static floor but scales to 25 < 200.
+	err := run([]string{"run", "-scale", "0.1", "-set", "e03.nodes=250", "E03"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "falls below the measurement floor") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunKnobNotAttachedToOtherExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment")
+	}
+	var out bytes.Buffer
+	// The bad E03 knob must fail E03 only; E01 runs knob-free.
+	err := run([]string{"run", "-scale", "0.1", "-set", "e03.nodes=50", "E03", "E01"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "E03:") {
+		t.Fatalf("err = %v", err)
+	}
+	if strings.Contains(err.Error(), "E01:") {
+		t.Fatalf("knob leaked into E01: %v", err)
+	}
+}
+
+func TestScaleScalesConflict(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"sweep", "-scale", "0.5", "-scales", "0.25", "-seeds", "1,2", "E01"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-scale and -scales conflict") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunRejectsSeedBelowOne(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"run", "-seed", "0", "E01"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-seed must be >= 1") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestJSONAndCSVConflict(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"run", "-json", "-csv", "E01"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "choose one of -json or -csv") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunRejectsMultiValueKnob(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"run", "-set", "e03.lookups=100,200", "E03"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "sweep subcommand") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSweepRejectsSeedZero(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"sweep", "-seeds", "0..4", "E01"}, &out)
+	if err == nil || !strings.Contains(err.Error(), ">= 1") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRepRejectsZeroReplications(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"rep", "-n", "0", "E01"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-n must be") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRepRejectsHugeReplicationCount(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"rep", "-n", "2000000000", "E01"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "seed cap") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestListIncludesAllExperiments(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"list"}, &out); err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	for _, id := range []string{"E01", "E06", "E18"} {
+		if !strings.Contains(out.String(), id) {
+			t.Fatalf("list output missing %s:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestFlagsBeforeOrAfterSubcommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real experiments")
+	}
+	var a, b bytes.Buffer
+	// Ignore shape-check outcomes at tiny scale; output equality is the point.
+	errA := run([]string{"-scale", "0.1", "-seed", "3", "run", "E01"}, &a)
+	errB := run([]string{"run", "-scale", "0.1", "-seed", "3", "E01"}, &b)
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("errors differ: %v vs %v", errA, errB)
+	}
+	if a.String() != b.String() || a.Len() == 0 {
+		t.Fatalf("flag position changed output:\n--- before\n%s\n--- after\n%s", a.String(), b.String())
+	}
+}
+
+// TestSweepJSONDeterministicAcrossParallelism is the CLI half of the
+// harness determinism contract.
+func TestSweepJSONDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real experiments")
+	}
+	sweepArgs := func(parallel string) []string {
+		return []string{"sweep", "-parallel", parallel, "-json", "-seeds", "1..3", "-scale", "0.1", "E01"}
+	}
+	var seq, par bytes.Buffer
+	if err := run(sweepArgs("1"), &seq); err != nil {
+		t.Fatalf("sweep -parallel 1: %v", err)
+	}
+	if err := run(sweepArgs("8"), &par); err != nil {
+		t.Fatalf("sweep -parallel 8: %v", err)
+	}
+	if seq.String() != par.String() {
+		t.Fatal("sweep JSON differs between -parallel 1 and -parallel 8")
+	}
+	var report struct {
+		Groups []struct {
+			Experiment   string `json:"experiment"`
+			Replications int    `json:"replications"`
+			Metrics      []struct {
+				Name string  `json:"name"`
+				N    int     `json:"n"`
+				Mean float64 `json:"mean"`
+			} `json:"metrics"`
+		} `json:"groups"`
+	}
+	if err := json.Unmarshal(seq.Bytes(), &report); err != nil {
+		t.Fatalf("sweep output is not valid JSON: %v", err)
+	}
+	if len(report.Groups) != 1 || report.Groups[0].Replications != 3 {
+		t.Fatalf("unexpected report shape: %+v", report.Groups)
+	}
+	if len(report.Groups[0].Metrics) == 0 {
+		t.Fatal("report has no aggregated metrics")
+	}
+}

@@ -17,6 +17,14 @@
 //	res, _ := reg.Run("E06", decent.Config{Seed: 1})
 //	fmt.Println(res)
 //
+// Parameter sweeps and multi-seed replication run through the harness:
+//
+//	rep, _ := decent.RunSweep(decent.Sweep{
+//		Experiments: []string{"E03", "E06"},
+//		Seeds:       []int64{1, 2, 3, 4, 5},
+//	}, 0) // 0 workers = GOMAXPROCS
+//	fmt.Println(rep)
+//
 // See DESIGN.md for the experiment index and EXPERIMENTS.md for measured
 // results.
 package decent
@@ -24,10 +32,12 @@ package decent
 import (
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/harness"
 )
 
 // Config controls an experiment run. It is re-exported from the core
-// framework: Seed pins determinism, Scale trades fidelity for speed.
+// framework: Seed pins determinism, Scale trades fidelity for speed, and
+// Params carries named per-experiment knobs for sweeps.
 type Config = core.Config
 
 // Result is an experiment outcome: regenerated tables/figures plus shape
@@ -40,9 +50,41 @@ type Experiment = core.Experiment
 // Registry holds the paper's experiments.
 type Registry = core.Registry
 
-// Experiments returns the full registry (E01–E17) in paper order.
+// MaxSeeds bounds how many seeds one sweep or replication may expand to.
+const MaxSeeds = harness.MaxSeeds
+
+// Sweep is a grid of experiment runs: experiment ids × seeds × scales ×
+// named knobs. Expand it with Jobs and run it with RunParallel, or use
+// RunSweep for the whole pipeline.
+type Sweep = harness.Sweep
+
+// Job is one experiment execution within a sweep.
+type Job = harness.Job
+
+// JobResult pairs a job with its outcome.
+type JobResult = harness.JobResult
+
+// Report is an aggregated sweep: per-scenario mean/stddev/95%-CI metrics
+// and majority-vote shape verdicts, exportable as JSON or CSV.
+type Report = harness.Report
+
+// Runner is the harness worker pool for custom registries.
+type Runner = harness.Runner
+
+// Experiments returns the full registry (E01–E18) in paper order.
 func Experiments() (*Registry, error) {
 	return experiments.Registry()
+}
+
+// Knobs lists the sweepable per-experiment knobs (name -> description).
+func Knobs() map[string]string {
+	return experiments.Knobs()
+}
+
+// KnobAppliesTo reports whether a knob name belongs to the given
+// experiment id ("e03.lookups" applies to "E03").
+func KnobAppliesTo(name, id string) bool {
+	return harness.KnobAppliesTo(name, id)
 }
 
 // Run executes a single experiment by id with the given configuration.
@@ -52,4 +94,50 @@ func Run(id string, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	return reg.Run(id, cfg)
+}
+
+// RunParallel executes jobs against the paper registry on a worker pool
+// (workers <= 0 means GOMAXPROCS) and returns results in job order.
+func RunParallel(jobs []Job, workers int) ([]JobResult, error) {
+	reg, err := experiments.Registry()
+	if err != nil {
+		return nil, err
+	}
+	return harness.RunParallel(reg, jobs, workers), nil
+}
+
+// RunSweep validates and expands the sweep, runs it in parallel, and
+// aggregates the replications into a Report. The same sweep produces a
+// byte-identical Report.JSON() at any worker count.
+func RunSweep(s Sweep, workers int) (*Report, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	results, err := RunParallel(s.Jobs(), workers)
+	if err != nil {
+		return nil, err
+	}
+	return harness.Aggregate(results), nil
+}
+
+// Aggregate collapses job results into a Report, merging replications of
+// the same scenario across seeds.
+func Aggregate(results []JobResult) *Report {
+	return harness.Aggregate(results)
+}
+
+// ParseSeeds parses a seed list specification such as "1..10" or "1,3,9".
+func ParseSeeds(spec string) ([]int64, error) {
+	return harness.ParseSeeds(spec)
+}
+
+// ParseScales parses a comma-separated list of positive scale factors,
+// e.g. "0.25,0.5,1".
+func ParseScales(spec string) ([]float64, error) {
+	return harness.ParseScales(spec)
+}
+
+// ParseParam parses one knob specification "name=v1,v2,...".
+func ParseParam(spec string) (string, []float64, error) {
+	return harness.ParseParam(spec)
 }

@@ -2,6 +2,7 @@ package decent
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -27,6 +28,29 @@ func TestRunByID(t *testing.T) {
 	}
 	if !res.Reproduced() {
 		t.Fatalf("E11 failed its shape checks:\n%s", res)
+	}
+}
+
+func TestUnknownKnobRejectedAtLibraryLevel(t *testing.T) {
+	_, err := Run("E11", Config{Seed: 1, Params: map[string]float64{"bogus.knob": 1}})
+	if err == nil || !strings.Contains(err.Error(), "unknown knob") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestForeignKnobRejectedAtLibraryLevel(t *testing.T) {
+	// A knob owned by an experiment that is not running must error, not
+	// silently label duplicate groups.
+	_, err := Run("E11", Config{Seed: 1, Params: map[string]float64{"e03.lookups": 100}})
+	if err == nil || !strings.Contains(err.Error(), "does not apply") {
+		t.Fatalf("err = %v", err)
+	}
+	_, err = RunSweep(Sweep{
+		Experiments: []string{"E11"},
+		Params:      map[string][]float64{"e03.lookups": {100, 200}},
+	}, 1)
+	if err == nil || !strings.Contains(err.Error(), "not among the selected") {
+		t.Fatalf("RunSweep err = %v", err)
 	}
 }
 

@@ -7,8 +7,10 @@
 package core
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/metrics"
@@ -17,10 +19,15 @@ import (
 // Config controls an experiment run.
 type Config struct {
 	// Seed is the master seed; equal seeds give identical results.
-	Seed int64
+	Seed int64 `json:"seed"`
 	// Scale multiplies workload sizes (1 = the documented default;
 	// smaller values run faster for smoke tests and benchmarks).
-	Scale float64
+	Scale float64 `json:"scale"`
+	// Params carries named per-experiment knobs set by sweep grids
+	// (e.g. "e03.lookups"). Experiments read them with Param; unset
+	// knobs fall back to the experiment's documented default, so a nil
+	// map reproduces the baseline run exactly.
+	Params map[string]float64 `json:"params,omitempty"`
 }
 
 // WithDefaults fills zero fields.
@@ -32,6 +39,46 @@ func (c Config) WithDefaults() Config {
 		c.Scale = 1
 	}
 	return c
+}
+
+// KnobOwner returns the experiment id a knob name is prefixed with
+// ("e03.lookups" -> "E03"), or "" for global knobs whose prefix does not
+// name an experiment. It is the single ownership rule shared by sweep
+// grid expansion, CLI validation, and per-experiment knob checking.
+func KnobOwner(name string) string {
+	prefix, _, _ := strings.Cut(name, ".")
+	if len(prefix) < 2 || (prefix[0] != 'e' && prefix[0] != 'E') {
+		return ""
+	}
+	for i := 1; i < len(prefix); i++ {
+		if prefix[i] < '0' || prefix[i] > '9' {
+			return ""
+		}
+	}
+	return strings.ToUpper(prefix)
+}
+
+// Param returns the named knob, or def when the knob is unset.
+func (c Config) Param(name string, def float64) float64 {
+	if v, ok := c.Params[name]; ok {
+		return v
+	}
+	return def
+}
+
+// ParamInt returns the named knob rounded to the nearest int, clamped to
+// [1, MaxInt32] — float-to-int conversion of out-of-range values is
+// implementation-defined in Go, so huge knob values must not reach int()
+// unchecked.
+func (c Config) ParamInt(name string, def int) int {
+	v := math.Round(c.Param(name, float64(def)))
+	if v < 1 || math.IsNaN(v) {
+		return 1
+	}
+	if v > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(v)
 }
 
 // ScaleInt scales a workload size, keeping a floor of 1.
@@ -46,26 +93,43 @@ func (c Config) ScaleInt(n int) int {
 // Check is one verified aspect of a claim's shape.
 type Check struct {
 	// Name describes what was checked.
-	Name string
+	Name string `json:"name"`
 	// OK reports whether the shape held.
-	OK bool
+	OK bool `json:"ok"`
 	// Detail carries the measured numbers.
-	Detail string
+	Detail string `json:"detail"`
 }
 
-// Result is an experiment's output.
+// Metric is one named scalar an experiment records at full precision for
+// cross-seed aggregation (table cells are rendered at %.4g and lose
+// precision when re-parsed).
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Result is an experiment's output. It marshals to stable JSON (field
+// order is fixed by the struct; empty artifact lists are omitted), so
+// results double as machine-readable artifacts for the harness exporters.
 type Result struct {
 	// ID is the experiment identifier (e.g. "E06").
-	ID string
+	ID string `json:"id"`
 	// Title is a short human name.
-	Title string
+	Title string `json:"title"`
 	// Claim quotes the paper claim being reproduced.
-	Claim string
+	Claim string `json:"claim"`
 	// Tables and Figures carry the regenerated artifacts.
-	Tables  []*metrics.Table
-	Figures []*metrics.Figure
+	Tables  []*metrics.Table  `json:"tables,omitempty"`
+	Figures []*metrics.Figure `json:"figures,omitempty"`
+	// Metrics are explicit full-precision scalars for aggregation.
+	Metrics []Metric `json:"metrics,omitempty"`
 	// Checks are the shape verdicts.
-	Checks []Check
+	Checks []Check `json:"checks"`
+}
+
+// AddMetric records a named scalar at full precision.
+func (r *Result) AddMetric(name string, value float64) {
+	r.Metrics = append(r.Metrics, Metric{Name: name, Value: value})
 }
 
 // AddCheck appends a shape verdict.
@@ -75,6 +139,11 @@ func (r *Result) AddCheck(ok bool, name, format string, args ...any) {
 		OK:     ok,
 		Detail: fmt.Sprintf(format, args...),
 	})
+}
+
+// JSON renders the result as indented, deterministic JSON.
+func (r *Result) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
 }
 
 // Reproduced reports whether every shape check held.
@@ -115,7 +184,7 @@ func (r *Result) String() string {
 
 // Experiment reproduces one paper claim.
 type Experiment interface {
-	// ID returns the experiment identifier ("E01".."E17").
+	// ID returns the experiment identifier ("E01".."E18").
 	ID() string
 	// Title returns a short name.
 	Title() string

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"strings"
 	"testing"
@@ -108,5 +110,47 @@ func TestEmptyResultNotReproduced(t *testing.T) {
 	r := &Result{}
 	if r.Reproduced() {
 		t.Fatal("no checks should mean not reproduced")
+	}
+}
+
+func TestConfigParams(t *testing.T) {
+	cfg := Config{Params: map[string]float64{"knob": 2.5, "count": 7}}
+	if got := cfg.Param("knob", 1); got != 2.5 {
+		t.Fatalf("Param(knob) = %g", got)
+	}
+	if got := cfg.Param("missing", 4); got != 4 {
+		t.Fatalf("Param(missing) = %g, want default", got)
+	}
+	if got := cfg.ParamInt("count", 1); got != 7 {
+		t.Fatalf("ParamInt(count) = %d", got)
+	}
+	if got := cfg.ParamInt("missing", 9); got != 9 {
+		t.Fatalf("ParamInt(missing) = %d, want default", got)
+	}
+	if got := (Config{}).ParamInt("missing", -3); got != 1 {
+		t.Fatalf("ParamInt floor = %d, want 1", got)
+	}
+}
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	r := &Result{ID: "E06", Title: "demo", Claim: "the claim"}
+	tab := metrics.NewTable("numbers", "x", "y")
+	tab.AddRowf("a", 1.5)
+	r.Tables = append(r.Tables, tab)
+	r.AddCheck(true, "good", "fine")
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if back.ID != "E06" || len(back.Tables) != 1 || len(back.Checks) != 1 || !back.Checks[0].OK {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	data2, err := r.JSON()
+	if err != nil || !bytes.Equal(data, data2) {
+		t.Fatalf("Result.JSON not deterministic")
 	}
 }

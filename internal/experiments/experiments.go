@@ -1,10 +1,15 @@
-// Package experiments implements one runner per paper claim (E01–E17),
+// Package experiments implements one runner per paper claim (E01–E18),
 // composing the substrate packages into the tables and figures listed in
 // DESIGN.md. Each runner returns a core.Result whose checks encode the
 // claim's expected shape.
 package experiments
 
 import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
 	"repro/internal/core"
 )
 
@@ -22,11 +27,89 @@ func (e *exp) Claim() string { return e.claim }
 
 func (e *exp) Run(cfg core.Config) (*core.Result, error) {
 	cfg = cfg.WithDefaults()
+	if err := validateKnobs(e.id, cfg); err != nil {
+		return nil, err
+	}
 	r := &core.Result{ID: e.id, Title: e.title, Claim: e.claim}
 	if err := e.run(cfg, r); err != nil {
 		return nil, err
 	}
 	return r, nil
+}
+
+// KnobSpec describes one sweepable per-experiment knob: its default, the
+// measurement floor below which an explicit value is a run error, the
+// maximum the simulator will accept, whether values must be whole
+// numbers, and a human description.
+type KnobSpec struct {
+	Default float64
+	Min     float64
+	Max     float64
+	Integer bool
+	Desc    string
+}
+
+// KnobSpecs is the registry of sweepable knobs. Experiments read knobs
+// via knobInt (which applies the spec default), the shared run scaffold
+// enforces Min centrally, and decentsim's -set flag accepts only names
+// registered here. New knobs must be added here and in DESIGN.md.
+func KnobSpecs() map[string]KnobSpec {
+	return map[string]KnobSpec{
+		"e03.nodes":   {Default: 1500, Min: 200, Max: 100000, Integer: true, Desc: "E03: DHT network size before scaling"},
+		"e03.lookups": {Default: 150, Min: 30, Max: 100000, Integer: true, Desc: "E03: lookups measured per deployment"},
+	}
+}
+
+// Knobs lists the sweepable knobs as name -> rendered description.
+func Knobs() map[string]string {
+	out := make(map[string]string)
+	for name, s := range KnobSpecs() {
+		out[name] = fmt.Sprintf("%s (default %g, min %g, max %g)", s.Desc, s.Default, s.Min, s.Max)
+	}
+	return out
+}
+
+// knobInt reads a registered knob with its spec default.
+func knobInt(cfg core.Config, name string) int {
+	return cfg.ParamInt(name, int(KnobSpecs()[name].Default))
+}
+
+// validateKnobs rejects unregistered knob names — a typo'd knob the
+// experiment never reads would silently multiply a sweep into duplicate
+// identical groups — knobs owned by a different experiment, and
+// explicitly-set values below their spec floor, which clamping would
+// likewise collapse into identical groups. The CLI and harness also
+// validate at parse/expansion time; this check covers hand-built job
+// lists and direct Registry.Run calls.
+func validateKnobs(id string, cfg core.Config) error {
+	specs := KnobSpecs()
+	names := make([]string, 0, len(cfg.Params))
+	for name := range cfg.Params {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := cfg.Params[name]
+		spec, ok := specs[name]
+		if !ok {
+			return fmt.Errorf("experiments: unknown knob %q", name)
+		}
+		if owner := core.KnobOwner(name); owner != "" && !strings.EqualFold(owner, id) {
+			return fmt.Errorf("experiments: knob %s does not apply to experiment %s", name, id)
+		}
+		if v < spec.Min {
+			return fmt.Errorf("experiments: knob %s=%g is below the measurement floor %g", name, v, spec.Min)
+		}
+		if spec.Max > 0 && v > spec.Max {
+			return fmt.Errorf("experiments: knob %s=%g is above the maximum %g", name, v, spec.Max)
+		}
+		// Fractional values for integer knobs would round to the same
+		// workload and silently duplicate sweep groups.
+		if spec.Integer && v != math.Trunc(v) {
+			return fmt.Errorf("experiments: knob %s=%g must be an integer", name, v)
+		}
+	}
+	return nil
 }
 
 // Registry returns the full experiment registry in paper order.

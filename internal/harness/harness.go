@@ -1,0 +1,129 @@
+// Package harness orchestrates experiment runs at parameter-sweep scale.
+//
+// The reproduction's experiments are deterministic and fully isolated —
+// each run builds its own sim.Sim from the config seed — so replications
+// and sweep points are trivially parallelizable. This package supplies the
+// machinery the single-run core deliberately omits:
+//
+//   - Runner: a worker pool that fans a job list out across GOMAXPROCS
+//     goroutines and returns results in job order, independent of
+//     scheduling;
+//   - Sweep: a grid type crossing experiment ids × seeds × scales × named
+//     per-experiment knobs into a deterministic job list;
+//   - Aggregate: collapses multi-seed replications of a scenario into
+//     mean/stddev/95%-CI per metric and a majority-vote shape verdict;
+//   - Report exporters: deterministic JSON and CSV, so sweep output is a
+//     machine-readable artifact rather than a terminal transcript.
+//
+// Determinism contract: the same Sweep over the same registry yields a
+// byte-identical Report.JSON() regardless of worker count.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Job is one experiment execution: an experiment id plus the full run
+// configuration (seed, scale, knobs).
+type Job struct {
+	ExperimentID string      `json:"experiment"`
+	Config       core.Config `json:"config"`
+}
+
+// JobResult pairs a job with its outcome. Exactly one of Result and Err is
+// set. Elapsed is wall-clock time for this run only; it is deliberately
+// excluded from marshalled output so aggregates stay byte-reproducible.
+type JobResult struct {
+	Job     Job           `json:"job"`
+	Result  *core.Result  `json:"result,omitempty"`
+	Err     error         `json:"-"`
+	Elapsed time.Duration `json:"-"`
+}
+
+// Runner executes experiment jobs on a bounded worker pool.
+type Runner struct {
+	// Registry resolves experiment ids to implementations.
+	Registry *core.Registry
+	// Workers bounds concurrency; <=0 means GOMAXPROCS.
+	Workers int
+	// OnResult, when set, is called once per completed job with its
+	// index into the job list. Calls are serialized (never concurrent)
+	// but arrive in completion order, not job order — consumers that
+	// stream output should buffer until their next index is complete.
+	OnResult func(i int, r JobResult)
+
+	mu sync.Mutex
+}
+
+func (r *Runner) workers(jobs int) int {
+	w := r.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes all jobs and returns their results in job order, regardless
+// of worker count or completion order.
+func (r *Runner) Run(jobs []Job) []JobResult {
+	out := make([]JobResult, len(jobs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := r.workers(len(jobs)); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = r.runOne(jobs[i])
+				if r.OnResult != nil {
+					r.mu.Lock()
+					r.OnResult(i, out[i])
+					r.mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+func (r *Runner) runOne(j Job) JobResult {
+	// core.Config.WithDefaults remaps seed 0 to 1 and scale <= 0 to 1;
+	// letting either through would silently duplicate a replication or
+	// mislabel a group, corrupting aggregate statistics — reject here
+	// where every job passes. NaN/Inf scales fail the > 0 / finite test.
+	if j.Config.Seed < 1 {
+		return JobResult{Job: j, Err: fmt.Errorf(
+			"harness: job seed %d must be >= 1 (seed 0 would silently rerun seed 1)", j.Config.Seed)}
+	}
+	if !(j.Config.Scale > 0) || math.IsInf(j.Config.Scale, 0) {
+		return JobResult{Job: j, Err: fmt.Errorf(
+			"harness: job scale %g must be a finite positive number", j.Config.Scale)}
+	}
+	start := time.Now()
+	res, err := r.Registry.Run(j.ExperimentID, j.Config)
+	return JobResult{Job: j, Result: res, Err: err, Elapsed: time.Since(start)}
+}
+
+// RunParallel runs jobs against reg with the given worker count (<=0 means
+// GOMAXPROCS) and returns results in job order.
+func RunParallel(reg *core.Registry, jobs []Job, workers int) []JobResult {
+	r := Runner{Registry: reg, Workers: workers}
+	return r.Run(jobs)
+}

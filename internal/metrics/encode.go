@@ -1,0 +1,14 @@
+package metrics
+
+import "encoding/json"
+
+// JSON renders the table as indented, deterministic JSON. Field order is
+// fixed by the struct definition, so equal tables encode byte-identically.
+func (t *Table) JSON() ([]byte, error) {
+	return json.MarshalIndent(t, "", "  ")
+}
+
+// JSON renders the figure as indented, deterministic JSON.
+func (f *Figure) JSON() ([]byte, error) {
+	return json.MarshalIndent(f, "", "  ")
+}

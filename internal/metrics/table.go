@@ -10,10 +10,10 @@ import (
 // Table is a rendered experiment result: a titled grid of cells matching a
 // table (or the data behind a figure) from the paper's argument.
 type Table struct {
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
 }
 
 // NewTable creates a table with the given title and column headers.
@@ -135,23 +135,24 @@ func (t *Table) CSV() string {
 
 // Point is a single (x, y) datum of a figure series.
 type Point struct {
-	X, Y float64
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
 }
 
 // Series is one named line of a figure.
 type Series struct {
-	Name   string
-	Points []Point
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
 }
 
 // Figure is plottable experiment output: one or more series over a shared
 // x-axis. Render produces a coarse ASCII plot; the underlying data can also
 // be exported via Table.
 type Figure struct {
-	Title  string
-	XLabel string
-	YLabel string
-	Series []Series
+	Title  string   `json:"title"`
+	XLabel string   `json:"xlabel"`
+	YLabel string   `json:"ylabel"`
+	Series []Series `json:"series"`
 }
 
 // Add appends a point to the named series, creating it if necessary.
