@@ -52,55 +52,62 @@ func runExperiment(b *testing.B, id string, metric func(*core.Result) (string, f
 	}
 }
 
-// cell parses a numeric cell from a result table.
-func cell(r *core.Result, table, row, col int) float64 {
-	if table >= len(r.Tables) {
-		return 0
+// cell parses a numeric cell from a result table. Out-of-range coordinates
+// and non-numeric cells fail the benchmark with the offending location —
+// a renamed or reordered table column must not silently report a 0.0
+// custom metric.
+func cell(b *testing.B, r *core.Result, table, row, col int) float64 {
+	b.Helper()
+	if table < 0 || table >= len(r.Tables) {
+		b.Fatalf("%s: table index %d out of range (result has %d tables)", r.ID, table, len(r.Tables))
 	}
 	t := r.Tables[table]
-	if row >= len(t.Rows) || col >= len(t.Rows[row]) {
-		return 0
+	if row < 0 || row >= len(t.Rows) {
+		b.Fatalf("%s table %q: row %d out of range (table has %d rows)", r.ID, t.Title, row, len(t.Rows))
+	}
+	if col < 0 || col >= len(t.Rows[row]) {
+		b.Fatalf("%s table %q row %d: col %d out of range (row has %d cells)", r.ID, t.Title, row, col, len(t.Rows[row]))
 	}
 	v, err := strconv.ParseFloat(t.Rows[row][col], 64)
 	if err != nil {
-		return 0
+		b.Fatalf("%s table %q row %d col %d: cell %q is not numeric: %v", r.ID, t.Title, row, col, t.Rows[row][col], err)
 	}
 	return v
 }
 
 func BenchmarkE01MarketConcentration(b *testing.B) {
 	runExperiment(b, "E01", func(r *core.Result) (string, float64) {
-		return "cdn-top3", cell(r, 0, 0, 3)
+		return "cdn-top3", cell(b, r, 0, 0, 3)
 	})
 }
 
 func BenchmarkE02FreeRiding(b *testing.B) {
 	runExperiment(b, "E02", func(r *core.Result) (string, float64) {
-		return "top1pct-upload-share", cell(r, 0, 1, 1)
+		return "top1pct-upload-share", cell(b, r, 0, 1, 1)
 	})
 }
 
 func BenchmarkE03DHTLookupLatency(b *testing.B) {
 	runExperiment(b, "E03", func(r *core.Result) (string, float64) {
-		return "mdht-median-s", cell(r, 0, 1, 1)
+		return "mdht-median-s", cell(b, r, 0, 1, 1)
 	})
 }
 
 func BenchmarkE04SybilAttack(b *testing.B) {
 	runExperiment(b, "E04", func(r *core.Result) (string, float64) {
-		return "eclipse-rate", cell(r, 1, 0, 1)
+		return "eclipse-rate", cell(b, r, 1, 0, 1)
 	})
 }
 
 func BenchmarkE05OneHopVsMultiHop(b *testing.B) {
 	runExperiment(b, "E05", func(r *core.Result) (string, float64) {
-		return "chord-mean-hops", cell(r, 0, 0, 1)
+		return "chord-mean-hops", cell(b, r, 0, 0, 1)
 	})
 }
 
 func BenchmarkE06ThroughputGap(b *testing.B) {
 	runExperiment(b, "E06", func(r *core.Result) (string, float64) {
-		return "btc-sim-tps", cell(r, 0, 3, 2)
+		return "btc-sim-tps", cell(b, r, 0, 3, 2)
 	})
 }
 
@@ -110,7 +117,7 @@ func BenchmarkE07DifficultyAdjust(b *testing.B) {
 
 func BenchmarkE08ForkRateTrilemma(b *testing.B) {
 	runExperiment(b, "E08", func(r *core.Result) (string, float64) {
-		return "stale-rate-12s", cell(r, 0, 2, 2)
+		return "stale-rate-12s", cell(b, r, 0, 2, 2)
 	})
 }
 
@@ -120,43 +127,43 @@ func BenchmarkE09SelfishMining(b *testing.B) {
 
 func BenchmarkE10MiningCentralization(b *testing.B) {
 	runExperiment(b, "E10", func(r *core.Result) (string, float64) {
-		return "top6-pool-share", cell(r, 1, 0, 1)
+		return "top6-pool-share", cell(b, r, 1, 0, 1)
 	})
 }
 
 func BenchmarkE11EnergyConsumption(b *testing.B) {
 	runExperiment(b, "E11", func(r *core.Result) (string, float64) {
-		return "TWh-per-year", cell(r, 0, 1, 2)
+		return "TWh-per-year", cell(b, r, 0, 1, 2)
 	})
 }
 
 func BenchmarkE12NodeResourceGrowth(b *testing.B) {
 	runExperiment(b, "E12", func(r *core.Result) (string, float64) {
-		return "fullnode-frac-10y", cell(r, 0, 0, 3)
+		return "fullnode-frac-10y", cell(b, r, 0, 0, 3)
 	})
 }
 
 func BenchmarkE13PermissionedVsPoW(b *testing.B) {
 	runExperiment(b, "E13", func(r *core.Result) (string, float64) {
-		return "pbft4-tps", cell(r, 0, 0, 3)
+		return "pbft4-tps", cell(b, r, 0, 0, 3)
 	})
 }
 
 func BenchmarkE14EdgeVsCloud(b *testing.B) {
 	runExperiment(b, "E14", func(r *core.Result) (string, float64) {
-		return "edge-median-ms", cell(r, 0, 0, 1)
+		return "edge-median-ms", cell(b, r, 0, 0, 1)
 	})
 }
 
 func BenchmarkE15ChurnImpact(b *testing.B) {
 	runExperiment(b, "E15", func(r *core.Result) (string, float64) {
-		return "churned-median-s", cell(r, 0, 2, 3)
+		return "churned-median-s", cell(b, r, 0, 2, 3)
 	})
 }
 
 func BenchmarkE16ChannelScaling(b *testing.B) {
 	runExperiment(b, "E16", func(r *core.Result) (string, float64) {
-		return "per-peer-envelopes", cell(r, 0, 0, 2)
+		return "per-peer-envelopes", cell(b, r, 0, 0, 2)
 	})
 }
 
@@ -166,6 +173,6 @@ func BenchmarkE17DoubleSpend(b *testing.B) {
 
 func BenchmarkE18OffChainChannels(b *testing.B) {
 	runExperiment(b, "E18", func(r *core.Result) (string, float64) {
-		return "hub-top3-share", cell(r, 0, 0, 3)
+		return "hub-top3-share", cell(b, r, 0, 0, 3)
 	})
 }

@@ -11,7 +11,12 @@
 //	decentsim run -json -parallel 4 all
 //	decentsim sweep -parallel 8 -json -seeds 1..10 E03 E06
 //	decentsim sweep -seeds 1..5 -set e03.lookups=100,200 E03
+//	decentsim sweep -seeds 1..3 -set e06.shards=16,64,256 -set e06.crossshard=0.1,0.5 E06
 //	decentsim rep -n 10 E06            # replicate over seeds 1..n, aggregate
+//
+// Every experiment E01–E18 registers sweepable knobs; -set accepts any
+// name listed in DESIGN.md's knob table (unknown names are rejected with
+// the full list).
 //
 // Flags may appear before or after the subcommand. sweep and rep emit an
 // aggregate report (per-metric mean/stddev/95%-CI and a majority-vote
@@ -90,7 +95,7 @@ func (o *options) register(fs *flag.FlagSet) {
 	fs.StringVar(&o.seeds, "seeds", o.seeds, "sweep/rep seed list, e.g. 1..10 or 1,3,9 (default: sweep 1..5, rep 1..n)")
 	fs.StringVar(&o.scales, "scales", o.scales, "sweep scale list, e.g. 0.25,0.5,1 (default: -scale)")
 	fs.IntVar(&o.reps, "n", o.reps, "rep: replication count, seeds 1..n (conflicts with -seeds)")
-	fs.Var(&o.set, "set", "sweep knob values, e.g. -set e03.lookups=100,200 (repeatable)")
+	fs.Var(&o.set, "set", "sweep knob values, e.g. -set e03.lookups=100,200 (repeatable; every experiment has knobs — see DESIGN.md)")
 }
 
 func run(args []string, out io.Writer) error {

@@ -81,6 +81,17 @@ func Knobs() map[string]string {
 	return experiments.Knobs()
 }
 
+// KnobSpec describes one sweepable knob: its default (equal to the
+// documented baseline literal), the measurement floor and maximum outside
+// which explicit values are run errors, and whether values must be whole.
+type KnobSpec = experiments.KnobSpec
+
+// KnobSpecs returns the full sweepable-knob registry, one or more knobs
+// per experiment E01–E18.
+func KnobSpecs() map[string]KnobSpec {
+	return experiments.KnobSpecs()
+}
+
 // KnobAppliesTo reports whether a knob name belongs to the given
 // experiment id ("e03.lookups" applies to "E03").
 func KnobAppliesTo(name, id string) bool {

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/econ"
 	"repro/internal/metrics"
@@ -16,11 +18,19 @@ func e10MiningCentralization() core.Experiment {
 		claim: "§III-C P1: in 2013 six mining pools controlled 75% of overall Bitcoin hashing power; nowadays it is almost impossible for a normal user to mine with a desktop computer.",
 		run: func(cfg core.Config, r *core.Result) error {
 			g := sim.NewRNG(cfg.Seed)
+			hobbyists, err := scaledSize(cfg, "e10.hobbyists")
+			if err != nil {
+				return err
+			}
+			farms, err := scaledSize(cfg, "e10.farms")
+			if err != nil {
+				return err
+			}
 			res, err := econ.RunMiningEconomy(g, econ.MiningEconConfig{
-				Epochs:            24,
+				Epochs:            knobInt(cfg, "e10.epochs"),
 				RewardUSDPerEpoch: 5_000_000,
-				Hobbyists:         cfg.ScaleInt(500),
-				Farms:             cfg.ScaleInt(20),
+				Hobbyists:         hobbyists,
+				Farms:             farms,
 			})
 			if err != nil {
 				return err
@@ -34,9 +44,13 @@ func e10MiningCentralization() core.Experiment {
 			}
 			r.Tables = append(r.Tables, tab)
 
+			miners, err := scaledSize(cfg, "e10.miners")
+			if err != nil {
+				return err
+			}
 			pool, err := econ.RunPoolFormation(g, econ.PoolConfig{
 				Pools:     20,
-				Miners:    cfg.ScaleInt(10_000),
+				Miners:    miners,
 				SizeBias:  1.3,
 				FeeSpread: 0.3,
 			})
@@ -73,8 +87,10 @@ func e11Energy() core.Experiment {
 			tab := metrics.NewTable("equilibrium energy model",
 				"coin price ($)", "network power (GW)", "annual energy (TWh)", "kWh per transaction")
 			base := econ.Bitcoin2018Energy()
+			midPrice := knobFloat(cfg, "e11.price")
+			tps := knobFloat(cfg, "e11.tps")
 			var baselineTWh float64
-			for _, price := range []float64{3750, 7500, 15000} {
+			for _, price := range []float64{midPrice / 2, midPrice, midPrice * 2} {
 				p := base
 				p.CoinPriceUSD = price
 				gw, err := p.NetworkPowerGW()
@@ -85,11 +101,11 @@ func e11Energy() core.Experiment {
 				if err != nil {
 					return err
 				}
-				perTx, err := p.PerTxKWh(4)
+				perTx, err := p.PerTxKWh(tps)
 				if err != nil {
 					return err
 				}
-				if price == 7500 {
+				if price == midPrice {
 					baselineTWh = twh
 				}
 				tab.AddRowf(price, gw, twh, perTx)
@@ -98,7 +114,7 @@ func e11Energy() core.Experiment {
 			r.Tables = append(r.Tables, tab)
 			r.AddCheck(baselineTWh >= 40 && baselineTWh <= 100, "austria-scale",
 				"2018-like parameters give %.0f TWh/yr (paper: ~70)", baselineTWh)
-			perTx, err := base.PerTxKWh(4)
+			perTx, err := base.PerTxKWh(tps)
 			if err != nil {
 				return err
 			}
@@ -119,27 +135,29 @@ func e12NodeCost() core.Experiment {
 		claim: "§III-C P1: as the history of transactions grows, each node requires more bandwidth, storage and computing power; networks retag nodes as light nodes but still count them in the global network size metrics.",
 		run: func(cfg core.Config, r *core.Result) error {
 			g := sim.NewRNG(cfg.Seed)
-			nodes := cfg.ScaleInt(10_000)
-			if nodes < 1000 {
-				nodes = 1000
+			nodes, err := scaledSize(cfg, "e12.nodes")
+			if err != nil {
+				return err
 			}
+			txBytes := knobInt(cfg, "e12.txbytes")
+			years := knobInt(cfg, "e12.years")
 			tab := metrics.NewTable("full-node fraction over ten years (simulated)",
-				"throughput", "chain growth (GB/yr)", "full frac year 0", "full frac year 10")
+				"throughput", "chain growth (GB/yr)", "full frac year 0", fmt.Sprintf("full frac year %d", years))
 			fig := &metrics.Figure{Title: "full-node erosion", XLabel: "year", YLabel: "full-node fraction"}
 			var bitcoinEnd, scaledEnd float64
 			for _, tps := range []float64{4, 100, 4000} {
 				res, err := econ.RunNodeCostModel(g, econ.NodeCostParams{
 					TPS:            tps,
-					TxBytes:        400,
-					Years:          10,
+					TxBytes:        txBytes,
+					Years:          years,
 					Nodes:          nodes,
-					DiskGBMedian:   320,
+					DiskGBMedian:   knobFloat(cfg, "e12.diskgb"),
 					InitialChainGB: 150,
 				})
 				if err != nil {
 					return err
 				}
-				p := econ.NodeCostParams{TPS: tps, TxBytes: 400}
+				p := econ.NodeCostParams{TPS: tps, TxBytes: txBytes}
 				tab.AddRowf(tps, p.ChainGrowthGBPerYear(), res.FullFracStart, res.FullFracEnd)
 				for _, y := range res.Years {
 					if tps == 4 || tps == 4000 {
@@ -160,7 +178,7 @@ func e12NodeCost() core.Experiment {
 			r.Tables = append(r.Tables, tab)
 			r.Figures = append(r.Figures, fig)
 			r.AddCheck(bitcoinEnd < 0.9, "erosion-at-bitcoin-scale",
-				"full-node fraction falls to %.2f after 10y even at 4 tps", bitcoinEnd)
+				"full-node fraction falls to %.2f after %dy even at 4 tps", bitcoinEnd, years)
 			r.AddCheck(scaledEnd < 0.05, "collapse-at-visa-scale",
 				"at VISA-scale throughput only %.1f%% can validate — scaling by shrinking decentralization", scaledEnd*100)
 			return nil

@@ -50,20 +50,130 @@ type KnobSpec struct {
 }
 
 // KnobSpecs is the registry of sweepable knobs. Experiments read knobs
-// via knobInt (which applies the spec default), the shared run scaffold
-// enforces Min centrally, and decentsim's -set flag accepts only names
-// registered here. New knobs must be added here and in DESIGN.md.
+// via knobInt/knobFloat (which apply the spec default), the shared run
+// scaffold enforces Min/Max centrally, and decentsim's -set flag accepts
+// only names registered here. Every experiment E01–E18 registers its
+// load-bearing parameters; defaults equal the documented baseline
+// literals, so knob-free runs are byte-identical to the baseline. New
+// knobs must be added here and in DESIGN.md.
 func KnobSpecs() map[string]KnobSpec {
-	return map[string]KnobSpec{
-		"e03.nodes":   {Default: 1500, Min: 200, Max: 100000, Integer: true, Desc: "E03: DHT network size before scaling"},
-		"e03.lookups": {Default: 150, Min: 30, Max: 100000, Integer: true, Desc: "E03: lookups measured per deployment"},
+	out := make(map[string]KnobSpec, len(knobSpecs))
+	for name, s := range knobSpecs {
+		out[name] = s
 	}
+	return out
+}
+
+// knobSpecs is the shared registry instance; exported callers get a copy
+// from KnobSpecs, internal readers (called several times per experiment
+// run) use this map directly.
+var knobSpecs = map[string]KnobSpec{
+	// E01 — market concentration.
+	"e01.customers":      {Default: 100_000, Min: 1000, Max: 10_000_000, Integer: true, Desc: "E01: customers choosing providers, before scaling"},
+	"e01.cdnproviders":   {Default: 20, Min: 3, Max: 500, Integer: true, Desc: "E01: providers in the CDN market"},
+	"e01.cloudproviders": {Default: 50, Min: 5, Max: 500, Integer: true, Desc: "E01: providers in the cloud market"},
+	"e01.exploration":    {Default: 0.35, Min: 0.01, Max: 1, Desc: "E01: probability a customer ignores popularity and explores"},
+
+	// E02 — free riding.
+	"e02.peers":           {Default: 500, Min: 50, Max: 50_000, Integer: true, Desc: "E02: Gnutella overlay size before scaling"},
+	"e02.freeriders":      {Default: 0.66, Min: 0, Max: 0.99, Desc: "E02: fraction of Gnutella peers sharing nothing"},
+	"e02.swarmfreeriders": {Default: 0.3, Min: 0, Max: 0.9, Desc: "E02: free-rider fraction in the tit-for-tat swarm"},
+	"e02.queries":         {Default: 200, Min: 30, Max: 100_000, Integer: true, Desc: "E02: flooded queries measured, before scaling"},
+	"e02.swarmpeers":      {Default: 100, Min: 30, Max: 10_000, Integer: true, Desc: "E02: BitTorrent swarm size before scaling"},
+
+	// E03 — DHT lookup latency.
+	"e03.nodes":   {Default: 1500, Min: 200, Max: 100_000, Integer: true, Desc: "E03: DHT network size before scaling"},
+	"e03.lookups": {Default: 150, Min: 30, Max: 100_000, Integer: true, Desc: "E03: lookups measured per deployment"},
+
+	// E04 — sybil/eclipse attacks.
+	"e04.honest":    {Default: 800, Min: 150, Max: 20_000, Integer: true, Desc: "E04: honest DHT population before scaling"},
+	"e04.lookups":   {Default: 60, Min: 20, Max: 10_000, Integer: true, Desc: "E04: lookups measured per attack size, before scaling"},
+	"e04.targetids": {Default: 16, Min: 2, Max: 512, Integer: true, Desc: "E04: sybil identities in the targeted-eclipse attack"},
+
+	// E05 — one-hop vs multi-hop.
+	"e05.nodes":       {Default: 1024, Min: 128, Max: 65_536, Integer: true, Desc: "E05: overlay size before scaling"},
+	"e05.lookups":     {Default: 100, Min: 20, Max: 100_000, Integer: true, Desc: "E05: lookups measured per overlay, before scaling"},
+	"e05.sessionmins": {Default: 60, Min: 5, Max: 1440, Integer: true, Desc: "E05: mean session and gap (minutes) in the maintenance model"},
+
+	// E06 — throughput gap.
+	"e06.blocks":     {Default: 300, Min: 50, Max: 100_000, Integer: true, Desc: "E06: mined blocks in the Bitcoin run, before scaling"},
+	"e06.shards":     {Default: 64, Min: 1, Max: 4096, Integer: true, Desc: "E06: shards in the cloud OLTP baseline"},
+	"e06.txbytes":    {Default: 400, Min: 100, Max: 10_000, Integer: true, Desc: "E06: mean transaction size (bytes) in the mining run"},
+	"e06.crossshard": {Default: 0.1, Min: 0, Max: 1, Desc: "E06: fraction of cloud transactions crossing shards"},
+
+	// E07 — difficulty retargeting.
+	"e07.window":      {Default: 50, Min: 10, Max: 10_000, Integer: true, Desc: "E07: retarget window (blocks), before scaling"},
+	"e07.epochs":      {Default: 6, Min: 2, Max: 16, Integer: true, Desc: "E07: hashpower-doubling epochs"},
+	"e07.epochblocks": {Default: 100, Min: 20, Max: 10_000, Integer: true, Desc: "E07: target intervals per epoch, before scaling"},
+
+	// E08 — fork rate vs interval.
+	"e08.blocks":      {Default: 1500, Min: 200, Max: 1_000_000, Integer: true, Desc: "E08: blocks mined per interval setting, before scaling"},
+	"e08.propagation": {Default: 6, Min: 0.5, Max: 120, Desc: "E08: mean block propagation delay (seconds)"},
+
+	// E09 — selfish mining. The gamma floor keeps the contested
+	// scenario distinct from the fixed gamma=0 pass: 0 would silently
+	// duplicate it.
+	"e09.blocks": {Default: 300_000, Min: 50_000, Max: 10_000_000, Integer: true, Desc: "E09: state-machine steps per (alpha, gamma) point, before scaling"},
+	"e09.gamma":  {Default: 0.5, Min: 0.01, Max: 1, Desc: "E09: honest split toward the attacker in the contested scenario"},
+
+	// E10 — mining centralization.
+	"e10.epochs":    {Default: 24, Min: 6, Max: 240, Integer: true, Desc: "E10: arms-race epochs (months)"},
+	"e10.hobbyists": {Default: 500, Min: 50, Max: 100_000, Integer: true, Desc: "E10: hobbyist miners before scaling"},
+	"e10.farms":     {Default: 20, Min: 2, Max: 1000, Integer: true, Desc: "E10: industrial farms before scaling"},
+	"e10.miners":    {Default: 10_000, Min: 100, Max: 1_000_000, Integer: true, Desc: "E10: miners choosing pools, before scaling"},
+
+	// E11 — energy at equilibrium.
+	"e11.price": {Default: 7500, Min: 100, Max: 1_000_000, Desc: "E11: mid coin price (USD); the table spans half to double"},
+	"e11.tps":   {Default: 4, Min: 0.1, Max: 100_000, Desc: "E11: throughput used for the per-transaction energy figure"},
+
+	// E12 — node resource growth.
+	"e12.nodes":   {Default: 10_000, Min: 1000, Max: 1_000_000, Integer: true, Desc: "E12: node population before scaling"},
+	"e12.txbytes": {Default: 400, Min: 50, Max: 100_000, Integer: true, Desc: "E12: mean transaction size (bytes)"},
+	"e12.years":   {Default: 10, Min: 2, Max: 100, Integer: true, Desc: "E12: years of chain growth simulated"},
+	"e12.diskgb":  {Default: 320, Min: 10, Max: 1_000_000, Desc: "E12: median node disk capacity (GB)"},
+
+	// E13 — permissioned vs PoW.
+	"e13.rate":      {Default: 2000, Min: 10, Max: 1_000_000, Desc: "E13: offered load (requests/second)"},
+	"e13.duration":  {Default: 10, Min: 3, Max: 3600, Integer: true, Desc: "E13: load duration (seconds), before scaling"},
+	"e13.batch":     {Default: 200, Min: 1, Max: 10_000, Integer: true, Desc: "E13: PBFT batch size"},
+	"e13.raftnodes": {Default: 5, Min: 3, Max: 101, Integer: true, Desc: "E13: Raft cluster size"},
+
+	// E14 — edge vs cloud.
+	"e14.clients":   {Default: 2000, Min: 100, Max: 1_000_000, Integer: true, Desc: "E14: simulated clients before scaling"},
+	"e14.edgenodes": {Default: 50, Min: 5, Max: 10_000, Integer: true, Desc: "E14: edge nano-datacenters"},
+	"e14.clouddcs":  {Default: 3, Min: 1, Max: 100, Integer: true, Desc: "E14: regional cloud datacenters"},
+	"e14.budgetms":  {Default: 20, Min: 1, Max: 1000, Desc: "E14: interactive latency budget (ms)"},
+	"e14.records":   {Default: 50, Min: 10, Max: 100_000, Integer: true, Desc: "E14: audit records submitted, before scaling"},
+
+	// E15 — churn.
+	"e15.nodes":   {Default: 600, Min: 120, Max: 50_000, Integer: true, Desc: "E15: overlay size before scaling"},
+	"e15.lookups": {Default: 120, Min: 30, Max: 100_000, Integer: true, Desc: "E15: lookups measured per churn level, before scaling"},
+	// minsession's cap keeps it strictly below the fixed 30m ladder
+	// level: 30+ would reorder or duplicate the churn levels and fail
+	// the degradation checks by construction.
+	"e15.minsession": {Default: 8, Min: 1, Max: 29, Integer: true, Desc: "E15: shortest mean session length (minutes) tried"},
+
+	// E16 — channels.
+	"e16.txs":       {Default: 40, Min: 10, Max: 100_000, Integer: true, Desc: "E16: transactions per channel before scaling"},
+	"e16.blocksize": {Default: 10, Min: 1, Max: 1000, Integer: true, Desc: "E16: envelopes per block"},
+	"e16.endorsers": {Default: 2, Min: 1, Max: 3, Integer: true, Desc: "E16: endorsements required per transaction"},
+
+	// E17 — double spend.
+	"e17.trials": {Default: 20_000, Min: 2000, Max: 10_000_000, Integer: true, Desc: "E17: monte-carlo trials per (q, z) point, before scaling"},
+	"e17.risk":   {Default: 0.001, Min: 0.000_01, Max: 0.5, Desc: "E17: acceptable double-spend probability in the confirmation note"},
+
+	// E18 — off-chain channels.
+	"e18.nodes":      {Default: 60, Min: 10, Max: 10_000, Integer: true, Desc: "E18: payment-network size"},
+	"e18.payments":   {Default: 20_000, Min: 2000, Max: 10_000_000, Integer: true, Desc: "E18: payments attempted, before scaling"},
+	"e18.hubs":       {Default: 3, Min: 1, Max: 20, Integer: true, Desc: "E18: hubs in the hub-and-spoke topology"},
+	"e18.meshdegree": {Default: 6, Min: 2, Max: 30, Integer: true, Desc: "E18: channel degree in the mesh topology"},
+	"e18.capital":    {Default: 600_000, Min: 1000, Max: 1_000_000_000, Desc: "E18: total locked capital shared by both topologies"},
 }
 
 // Knobs lists the sweepable knobs as name -> rendered description.
 func Knobs() map[string]string {
 	out := make(map[string]string)
-	for name, s := range KnobSpecs() {
+	for name, s := range knobSpecs {
 		out[name] = fmt.Sprintf("%s (default %g, min %g, max %g)", s.Desc, s.Default, s.Min, s.Max)
 	}
 	return out
@@ -71,7 +181,36 @@ func Knobs() map[string]string {
 
 // knobInt reads a registered knob with its spec default.
 func knobInt(cfg core.Config, name string) int {
-	return cfg.ParamInt(name, int(KnobSpecs()[name].Default))
+	return cfg.ParamInt(name, int(knobSpecs[name].Default))
+}
+
+// knobFloat reads a registered non-integer knob with its spec default.
+func knobFloat(cfg core.Config, name string) float64 {
+	return cfg.Param(name, knobSpecs[name].Default)
+}
+
+// scaledSize resolves a workload knob the experiment multiplies by -scale:
+// it scales the knob, clamps implicit (default) values to the measurement
+// floor, and rejects explicitly-set knobs the scaling pushes outside
+// [Min, Max] — clamping those would emit distinct sweep groups with
+// identical results. Implicit (default) values above Max are left alone:
+// a large -scale on a knob-free run keeps its pre-knob behavior.
+func scaledSize(cfg core.Config, knob string) (int, error) {
+	spec := knobSpecs[knob]
+	v := cfg.ScaleInt(knobInt(cfg, knob))
+	_, set := cfg.Params[knob]
+	if min := int(spec.Min); v < min {
+		if set {
+			return 0, fmt.Errorf("%s=%d (scaled to %d at scale %g) falls below the measurement floor %d; raise the knob or -scale",
+				knob, knobInt(cfg, knob), v, cfg.Scale, min)
+		}
+		v = min
+	}
+	if set && spec.Max > 0 && float64(v) > spec.Max {
+		return 0, fmt.Errorf("%s=%d (scaled to %d at scale %g) exceeds the maximum %g; lower the knob or -scale",
+			knob, knobInt(cfg, knob), v, cfg.Scale, spec.Max)
+	}
+	return v, nil
 }
 
 // validateKnobs rejects unregistered knob names — a typo'd knob the
@@ -82,7 +221,7 @@ func knobInt(cfg core.Config, name string) int {
 // validate at parse/expansion time; this check covers hand-built job
 // lists and direct Registry.Run calls.
 func validateKnobs(id string, cfg core.Config) error {
-	specs := KnobSpecs()
+	specs := knobSpecs
 	names := make([]string, 0, len(cfg.Params))
 	for name := range cfg.Params {
 		names = append(names, name)

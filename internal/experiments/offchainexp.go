@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/offchain"
@@ -17,13 +19,21 @@ func e18OffChain() core.Experiment {
 		claim: "§III-C P2: the so-called layer 2 or off-chain solutions like Lightning (Bitcoin), Plasma (Ethereum) or EOS follow this trend [toward centralization]: transactions are processed by a much smaller set of peers to increase performance.",
 		run: func(cfg core.Config, r *core.Result) error {
 			g := sim.NewRNG(cfg.Seed)
-			const nodes = 60
-			payments := cfg.ScaleInt(20_000)
-			if payments < 2_000 {
-				payments = 2_000
+			nodes := knobInt(cfg, "e18.nodes")
+			hubs := knobInt(cfg, "e18.hubs")
+			degree := knobInt(cfg, "e18.meshdegree")
+			if hubs >= nodes {
+				return fmt.Errorf("e18.hubs=%d must be below e18.nodes=%d", hubs, nodes)
+			}
+			if degree >= nodes {
+				return fmt.Errorf("e18.meshdegree=%d must be below e18.nodes=%d", degree, nodes)
+			}
+			payments, err := scaledSize(cfg, "e18.payments")
+			if err != nil {
+				return err
 			}
 			// Equal total locked capital in both topologies.
-			const totalCapital = 600_000.0
+			totalCapital := knobFloat(cfg, "e18.capital")
 
 			build := func(hub bool) (*offchain.Network, error) {
 				nw, err := offchain.NewNetwork(nodes)
@@ -31,14 +41,16 @@ func e18OffChain() core.Experiment {
 					return nil, err
 				}
 				if hub {
-					// 3 fully-connected hubs + one channel per leaf:
-					// 3 hub-hub channels (4x cap) + 57 leaf channels.
-					perChannel := totalCapital / (3*4 + 57)
-					return nw, offchain.BuildHubTopology(nw, 3, perChannel)
+					// Fully-connected hubs + one channel per leaf: each
+					// hub-hub channel carries 4x a leaf channel's capital
+					// (3*4 + 57 shares with the documented defaults).
+					hubChannels := hubs * (hubs - 1) / 2
+					perChannel := totalCapital / float64(hubChannels*4+(nodes-hubs))
+					return nw, offchain.BuildHubTopology(nw, hubs, perChannel)
 				}
-				// Mesh: degree 6 → ~180 channels.
-				perChannel := totalCapital / 180
-				return nw, offchain.BuildMeshTopology(g, nw, 6, perChannel)
+				// Mesh: degree 6 → ~180 channels with the defaults.
+				perChannel := totalCapital / float64(nodes*degree/2)
+				return nw, offchain.BuildMeshTopology(g, nw, degree, perChannel)
 			}
 			type outcome struct {
 				success float64
@@ -80,8 +92,8 @@ func e18OffChain() core.Experiment {
 			}
 			tab := metrics.NewTable("payment-channel topologies at equal locked capital (simulated)",
 				"topology", "payment success", "payments per on-chain tx", "top-3 forwarding share", "forwarding gini")
-			tab.AddRowf("3 hubs + leaves", hub.success, hub.mult, hub.top3, hub.gini)
-			tab.AddRowf("degree-6 mesh", mesh.success, mesh.mult, mesh.top3, mesh.gini)
+			tab.AddRowf(fmt.Sprintf("%d hubs + leaves", hubs), hub.success, hub.mult, hub.top3, hub.gini)
+			tab.AddRowf(fmt.Sprintf("degree-%d mesh", degree), mesh.success, mesh.mult, mesh.top3, mesh.gini)
 			tab.AddNote("hubs win on reliability and efficiency — which is why traffic gravitates to them")
 			r.Tables = append(r.Tables, tab)
 

@@ -37,16 +37,20 @@ func e01Market() core.Experiment {
 				providers int
 				sigma     float64
 			}
+			customers, err := scaledSize(cfg, "e01.customers")
+			if err != nil {
+				return err
+			}
 			var cdnTop3, cloudTop1, cloudTop5 float64
 			for _, sc := range []scenario{
-				{name: "cdn", providers: 20, sigma: 0.9},
-				{name: "cloud", providers: 50, sigma: 0.8},
+				{name: "cdn", providers: knobInt(cfg, "e01.cdnproviders"), sigma: 0.9},
+				{name: "cloud", providers: knobInt(cfg, "e01.cloudproviders"), sigma: 0.8},
 			} {
 				res, err := econ.RunMarket(s.Stream("e01."+sc.name), econ.MarketConfig{
 					Providers:    sc.providers,
-					Customers:    cfg.ScaleInt(100_000),
+					Customers:    customers,
 					FitnessSigma: sc.sigma,
-					Exploration:  0.35,
+					Exploration:  knobFloat(cfg, "e01.exploration"),
 				})
 				if err != nil {
 					return err
@@ -81,9 +85,9 @@ func e02FreeRiding() core.Experiment {
 		run: func(cfg core.Config, r *core.Result) error {
 			s := sim.New(sim.WithSeed(cfg.Seed))
 			nm := netmodel.New(s, netmodel.WithJitter(0.1))
-			n := cfg.ScaleInt(500)
-			if n < 50 {
-				n = 50
+			n, err := scaledSize(cfg, "e02.peers")
+			if err != nil {
+				return err
 			}
 			nw, err := gnutella.NewNetwork(s, nm, n, gnutella.Config{TTL: 6})
 			if err != nil {
@@ -94,10 +98,10 @@ func e02FreeRiding() core.Experiment {
 			if err != nil {
 				return err
 			}
-			// 66% free riders (Adar & Huberman's ~2/3); sharers' library
-			// sizes are heavy-tailed — a few peers host huge collections,
-			// which is what concentrates upload load on them.
-			const freeRiderFrac = 0.66
+			// 66% free riders by default (Adar & Huberman's ~2/3); sharers'
+			// library sizes are heavy-tailed — a few peers host huge
+			// collections, which is what concentrates upload load on them.
+			freeRiderFrac := knobFloat(cfg, "e02.freeriders")
 			sharers := 0
 			for i := 0; i < n; i++ {
 				if g.Bool(freeRiderFrac) {
@@ -112,9 +116,9 @@ func e02FreeRiding() core.Experiment {
 					nw.Share(i, cat.Pick())
 				}
 			}
-			queries := cfg.ScaleInt(200)
-			if queries < 30 {
-				queries = 30
+			queries, err := scaledSize(cfg, "e02.queries")
+			if err != nil {
+				return err
 			}
 			found, msgs := 0, 0
 			for q := 0; q < queries; q++ {
@@ -148,14 +152,15 @@ func e02FreeRiding() core.Experiment {
 			// Tit-for-tat swarm: selfish universe (everyone leaves at
 			// completion, the paper's point about incentives not outlasting
 			// the download).
-			swarmCfg := incentive.SwarmConfig{
-				Peers:         cfg.ScaleInt(100),
-				Seeds:         3,
-				FreeRiderFrac: 0.3,
-				Pieces:        50,
+			swarmPeers, err := scaledSize(cfg, "e02.swarmpeers")
+			if err != nil {
+				return err
 			}
-			if swarmCfg.Peers < 30 {
-				swarmCfg.Peers = 30
+			swarmCfg := incentive.SwarmConfig{
+				Peers:         swarmPeers,
+				Seeds:         3,
+				FreeRiderFrac: knobFloat(cfg, "e02.swarmfreeriders"),
+				Pieces:        50,
 			}
 			g2 := s.Stream("e02.swarm")
 			base, err := incentive.RunSwarm(g2, swarmCfg, 5000)
@@ -188,22 +193,6 @@ func e02FreeRiding() core.Experiment {
 	}
 }
 
-// e03Size resolves one of E03's workload knobs: scale it, clamp implicit
-// values to the measurement floor, and reject explicitly-set knobs the
-// scaling pushes below it.
-func e03Size(cfg core.Config, knob string) (int, error) {
-	spec := KnobSpecs()[knob]
-	v := cfg.ScaleInt(knobInt(cfg, knob))
-	if min := int(spec.Min); v < min {
-		if _, set := cfg.Params[knob]; set {
-			return 0, fmt.Errorf("%s=%d (scaled to %d at scale %g) falls below the measurement floor %d; raise the knob or -scale",
-				knob, knobInt(cfg, knob), v, cfg.Scale, min)
-		}
-		v = min
-	}
-	return v, nil
-}
-
 // e03DHTLookup reproduces §II-A (Jiménez et al.): KAD lookups within 5 s at
 // the 90th percentile vs ~1 minute medians on the BitTorrent Mainline DHT.
 func e03DHTLookup() core.Experiment {
@@ -219,11 +208,11 @@ func e03DHTLookup() core.Experiment {
 			// explicitly swept knob that still lands below the floor
 			// after scaling is an error: clamping it would emit distinct
 			// sweep groups with identical results.
-			n, err := e03Size(cfg, "e03.nodes")
+			n, err := scaledSize(cfg, "e03.nodes")
 			if err != nil {
 				return err
 			}
-			lookups, err := e03Size(cfg, "e03.lookups")
+			lookups, err := scaledSize(cfg, "e03.lookups")
 			if err != nil {
 				return err
 			}
@@ -298,13 +287,13 @@ func e04Sybil() core.Experiment {
 		title: "Sybil and eclipse attacks on an open DHT",
 		claim: "§II-B P3: open networks where peers assign their own identities are prone to sybil attacks; massive identity problems were reported in eMule KAD and the BitTorrent DHTs.",
 		run: func(cfg core.Config, r *core.Result) error {
-			honest := cfg.ScaleInt(800)
-			if honest < 150 {
-				honest = 150
+			honest, err := scaledSize(cfg, "e04.honest")
+			if err != nil {
+				return err
 			}
-			lookups := cfg.ScaleInt(60)
-			if lookups < 20 {
-				lookups = 20
+			lookups, err := scaledSize(cfg, "e04.lookups")
+			if err != nil {
+				return err
 			}
 			tab := metrics.NewTable("sybil interception vs identity count (simulated)",
 				"sybil identities", "% of network", "mean attacker frac in results", "majority-poisoned rate")
@@ -356,9 +345,10 @@ func e04Sybil() core.Experiment {
 			if err := nw.Bootstrap(); err != nil {
 				return err
 			}
+			targetIDs := knobInt(cfg, "e04.targetids")
 			target := overlay.KeyID([]byte("victim"))
 			atk, err := sybil.Launch(s, nw, sybil.AttackConfig{
-				Identities: 16, Targeted: true, Target: target,
+				Identities: targetIDs, Targeted: true, Target: target,
 			})
 			if err != nil {
 				return err
@@ -375,7 +365,7 @@ func e04Sybil() core.Experiment {
 			if err := s.Run(); err != nil {
 				return err
 			}
-			tab2 := metrics.NewTable("targeted eclipse of one key (16 identities)",
+			tab2 := metrics.NewTable(fmt.Sprintf("targeted eclipse of one key (%d identities)", targetIDs),
 				"metric", "value")
 			tab2.AddRowf("closest-is-attacker rate", eclipse.ClosestRate())
 			tab2.AddRowf("majority-poisoned rate", eclipse.MajorityRate())
@@ -384,7 +374,7 @@ func e04Sybil() core.Experiment {
 			r.AddCheck(fracs[len(fracs)-1] > fracs[0], "interception-grows",
 				"attacker fraction %.2f -> %.2f as identities grow", fracs[0], fracs[len(fracs)-1])
 			r.AddCheck(eclipse.ClosestRate() >= 0.7, "targeted-eclipse",
-				"16 identities eclipse the key in %.0f%% of lookups", eclipse.ClosestRate()*100)
+				"%d identities eclipse the key in %.0f%% of lookups", targetIDs, eclipse.ClosestRate()*100)
 			return nil
 		},
 	}
@@ -399,13 +389,13 @@ func e05OneHop() core.Experiment {
 		title: "One-hop overlays vs multi-hop DHTs",
 		claim: "§II-B: for networks between 10K and 100K nodes it is possible to keep full membership and route in one hop (Gupta et al.); if the overlay is relatively stable, O(1) routing is the right decision.",
 		run: func(cfg core.Config, r *core.Result) error {
-			n := cfg.ScaleInt(1024)
-			if n < 128 {
-				n = 128
+			n, err := scaledSize(cfg, "e05.nodes")
+			if err != nil {
+				return err
 			}
-			lookups := cfg.ScaleInt(100)
-			if lookups < 20 {
-				lookups = 20
+			lookups, err := scaledSize(cfg, "e05.lookups")
+			if err != nil {
+				return err
 			}
 			// Chord: hops and latency.
 			s := sim.New(sim.WithSeed(cfg.Seed))
@@ -463,14 +453,15 @@ func e05OneHop() core.Experiment {
 			r.Tables = append(r.Tables, tab)
 
 			// Maintenance bandwidth: analytic one-hop model at the paper's
-			// scales, with one-hour mean sessions (a "relatively stable"
-			// corporate-style network).
-			tab2 := metrics.NewTable("one-hop maintenance bandwidth (analytic, 1h sessions)",
+			// scales, with one-hour mean sessions by default (a "relatively
+			// stable" corporate-style network).
+			session := time.Duration(knobInt(cfg, "e05.sessionmins")) * time.Minute
+			tab2 := metrics.NewTable(fmt.Sprintf("one-hop maintenance bandwidth (analytic, %s sessions)", sessionLabel(session)),
 				"n", "ordinary node (kbit/s)", "unit leader (kbit/s)", "slice leader (kbit/s)")
 			var ordinary100k float64
 			for _, size := range []int{10_000, 100_000} {
 				p := onehop.MaintenanceParams{
-					N: size, MeanSession: time.Hour, MeanGap: time.Hour,
+					N: size, MeanSession: session, MeanGap: session,
 				}
 				ord := p.OrdinaryBps() / 1000
 				if size == 100_000 {
@@ -493,6 +484,15 @@ func e05OneHop() core.Experiment {
 	}
 }
 
+// sessionLabel renders a mean-session duration compactly for table titles
+// ("1h", "90m").
+func sessionLabel(d time.Duration) string {
+	if d%time.Hour == 0 {
+		return fmt.Sprintf("%dh", int(d/time.Hour))
+	}
+	return fmt.Sprintf("%dm", int(d/time.Minute))
+}
+
 // e15Churn reproduces §II-B Problem 2: open-overlay performance degrades
 // with churn.
 func e15Churn() core.Experiment {
@@ -501,19 +501,20 @@ func e15Churn() core.Experiment {
 		title: "Churn degrades open-overlay lookups",
 		claim: "§II-B P2: P2P networks show high churn; fault-tolerant self-adjustment causes performance problems and latency — stable cloud servers have no rival when guaranteed quality of service is needed.",
 		run: func(cfg core.Config, r *core.Result) error {
-			n := cfg.ScaleInt(600)
-			if n < 120 {
-				n = 120
+			n, err := scaledSize(cfg, "e15.nodes")
+			if err != nil {
+				return err
 			}
-			lookups := cfg.ScaleInt(120)
-			if lookups < 30 {
-				lookups = 30
+			lookups, err := scaledSize(cfg, "e15.lookups")
+			if err != nil {
+				return err
 			}
+			minSession := time.Duration(knobInt(cfg, "e15.minsession")) * time.Minute
 			tab := metrics.NewTable("kademlia under churn (simulated)",
 				"mean session", "availability", "lookup success", "median latency (s)", "timeouts/lookup")
 			fig := &metrics.Figure{Title: "churn impact", XLabel: "mean session (min)", YLabel: "median latency (s)"}
 			var successes, latencies, touts []float64
-			for _, session := range []time.Duration{2 * time.Hour, 30 * time.Minute, 8 * time.Minute} {
+			for _, session := range []time.Duration{2 * time.Hour, 30 * time.Minute, minSession} {
 				s := sim.New(sim.WithSeed(cfg.Seed))
 				nm := netmodel.New(s, netmodel.WithJitter(0.1))
 				nw := kademlia.NewNetwork(s, nm, kademlia.Config{
@@ -607,7 +608,7 @@ func e15Churn() core.Experiment {
 			// latency: the paper's "fault-tolerant and self-adjusting, but
 			// this causes performance problems and latency".
 			r.AddCheck(latencies[last] >= 1.5*latencies[0], "churn-costs-latency",
-				"median latency %.1fs (2h sessions) -> %.1fs (8m sessions)", latencies[0], latencies[last])
+				"median latency %.1fs (2h sessions) -> %.1fs (%s sessions)", latencies[0], latencies[last], sessionLabel(minSession))
 			r.AddCheck(touts[last] > touts[0], "churn-costs-timeouts",
 				"timeouts/lookup %.1f -> %.1f as sessions shrink", touts[0], touts[last])
 			return nil

@@ -24,11 +24,12 @@ func e13PermissionedVsPoW() core.Experiment {
 		title: "Permissioned consensus vs permissionless proof-of-work",
 		claim: "§IV: permissioned blockchains avoid costly proof-of-work by using CFT or BFT consensus (BFT-SMaRt); consensus can be configured between a subset of nodes, unlike broadcast networks where all nodes participate in all transactions.",
 		run: func(cfg core.Config, r *core.Result) error {
-			dur := time.Duration(cfg.ScaleInt(10)) * time.Second
-			if dur < 3*time.Second {
-				dur = 3 * time.Second
+			durSecs, err := scaledSize(cfg, "e13.duration")
+			if err != nil {
+				return err
 			}
-			rate := 2000.0
+			dur := time.Duration(durSecs) * time.Second
+			rate := knobFloat(cfg, "e13.rate")
 			tab := metrics.NewTable("consensus comparison (simulated)",
 				"system", "n", "fault model", "tps", "finality (mean)", "finality (p99)", "msgs/req")
 
@@ -38,7 +39,7 @@ func e13PermissionedVsPoW() core.Experiment {
 				s := sim.New(sim.WithSeed(cfg.Seed))
 				nm := netmodel.New(s, netmodel.WithJitter(0.1))
 				cl, err := pbft.NewCluster(s, nm, n, netmodel.Europe, pbft.Config{
-					BatchSize:    200,
+					BatchSize:    knobInt(cfg, "e13.batch"),
 					BatchTimeout: 20 * time.Millisecond,
 				})
 				if err != nil {
@@ -58,9 +59,10 @@ func e13PermissionedVsPoW() core.Experiment {
 			}
 			var raftTPS float64
 			{
+				raftN := knobInt(cfg, "e13.raftnodes")
 				s := sim.New(sim.WithSeed(cfg.Seed))
 				nm := netmodel.New(s, netmodel.WithJitter(0.1))
-				cl, err := raft.NewCluster(s, nm, 5, netmodel.Europe, raft.Config{})
+				cl, err := raft.NewCluster(s, nm, raftN, netmodel.Europe, raft.Config{})
 				if err != nil {
 					return err
 				}
@@ -69,7 +71,7 @@ func e13PermissionedVsPoW() core.Experiment {
 					return err
 				}
 				raftTPS = st.TPS
-				tab.AddRowf("raft (CFT orderer)", 5, "crash",
+				tab.AddRowf("raft (CFT orderer)", raftN, "crash",
 					st.TPS, st.MeanLatency.Seconds(), st.P99Latency.Seconds(), 0)
 			}
 			// PoW reference: throughput from E06 params, finality = 6
@@ -101,21 +103,27 @@ func e14EdgeVsCloud() core.Experiment {
 		claim: "§V / Fig.1: modern services are data-intensive and latency-sensitive, making a centralized cloud a poor match; permissioned blockchains provide the decentralized trust that edge federations need (authorization and auditing).",
 		run: func(cfg core.Config, r *core.Result) error {
 			g := sim.NewRNG(cfg.Seed)
+			edgeNodes := knobInt(cfg, "e14.edgenodes")
+			cloudDCs := knobInt(cfg, "e14.clouddcs")
+			clients, err := scaledSize(cfg, "e14.clients")
+			if err != nil {
+				return err
+			}
 			d, err := edge.New(g, edge.Config{
-				Clients:   cfg.ScaleInt(2000),
-				EdgeNodes: 50,
-				CloudDCs:  3,
+				Clients:   clients,
+				EdgeNodes: edgeNodes,
+				CloudDCs:  cloudDCs,
 				ServiceMs: 2,
 			})
 			if err != nil {
 				return err
 			}
-			const budgetMs = 20
+			budgetMs := knobFloat(cfg, "e14.budgetms")
 			cmp := d.Compare(budgetMs)
 			tab := metrics.NewTable("client RTT by placement (ms, simulated geography)",
-				"placement", "median", "p95", "% within 20ms budget")
-			tab.AddRowf("edge (50 nano-DCs)", cmp.EdgeMedianMs, cmp.EdgeP95Ms, cmp.WithinBudgetEdge*100)
-			tab.AddRowf("cloud (3 regional DCs)", cmp.CloudMedianMs, cmp.CloudP95Ms, cmp.WithinBudgetCloud*100)
+				"placement", "median", "p95", fmt.Sprintf("%% within %gms budget", budgetMs))
+			tab.AddRowf(fmt.Sprintf("edge (%d nano-DCs)", edgeNodes), cmp.EdgeMedianMs, cmp.EdgeP95Ms, cmp.WithinBudgetEdge*100)
+			tab.AddRowf(fmt.Sprintf("cloud (%d regional DCs)", cloudDCs), cmp.CloudMedianMs, cmp.CloudP95Ms, cmp.WithinBudgetCloud*100)
 			tab.AddRowf("central (1 DC)", cmp.CentralMedianMs, "", "")
 			r.Tables = append(r.Tables, tab)
 
@@ -146,9 +154,9 @@ func e14EdgeVsCloud() core.Experiment {
 				return err
 			}
 			var lat metrics.Sample
-			records := cfg.ScaleInt(50)
-			if records < 10 {
-				records = 10
+			records, err := scaledSize(cfg, "e14.records")
+			if err != nil {
+				return err
 			}
 			s.After(3*time.Second, func() {
 				for i := 0; i < records; i++ {
@@ -178,8 +186,8 @@ func e14EdgeVsCloud() core.Experiment {
 			r.AddCheck(cmp.MedianSpeedup >= 2, "edge-speedup",
 				"edge median %.1fms vs cloud %.1fms (%.1fx)", cmp.EdgeMedianMs, cmp.CloudMedianMs, cmp.MedianSpeedup)
 			r.AddCheck(cmp.WithinBudgetEdge > cmp.WithinBudgetCloud+0.2, "interactive-budget",
-				"%.0f%% of clients within 20ms at the edge vs %.0f%% from the cloud",
-				cmp.WithinBudgetEdge*100, cmp.WithinBudgetCloud*100)
+				"%.0f%% of clients within %gms at the edge vs %.0f%% from the cloud",
+				cmp.WithinBudgetEdge*100, budgetMs, cmp.WithinBudgetCloud*100)
 			r.AddCheck(ch.Committed() >= records*9/10 && lat.Median() < 3, "audit-trail-works",
 				"%d/%d audit records committed, median %.2fs — trust without a third party",
 				ch.Committed(), records, lat.Median())
@@ -197,10 +205,12 @@ func e16Channels() core.Experiment {
 		claim: "§IV: one distinguishing aspect of Hyperledger Fabric is that consensus can be configured between a subset of the nodes of the network, unlike traditional broadcast networks where all nodes must participate in all transactions.",
 		run: func(cfg core.Config, r *core.Result) error {
 			const orgs = 12
-			txPerChannel := cfg.ScaleInt(40)
-			if txPerChannel < 10 {
-				txPerChannel = 10
+			txPerChannel, err := scaledSize(cfg, "e16.txs")
+			if err != nil {
+				return err
 			}
+			blockSize := knobInt(cfg, "e16.blocksize")
+			endorsers := knobInt(cfg, "e16.endorsers")
 			put := func(stub *permissioned.Stub, args []string) error {
 				return stub.PutState(args[0], []byte(args[1]))
 			}
@@ -213,7 +223,7 @@ func e16Channels() core.Experiment {
 			run := func(channels int) (perPeerMean float64, total int, err error) {
 				s := sim.New(sim.WithSeed(cfg.Seed))
 				nm := netmodel.New(s, netmodel.WithJitter(0.1))
-				nw, err := permissioned.NewNetwork(s, nm, permissioned.Config{BlockSize: 10})
+				nw, err := permissioned.NewNetwork(s, nm, permissioned.Config{BlockSize: blockSize})
 				if err != nil {
 					return 0, 0, err
 				}
@@ -227,7 +237,7 @@ func e16Channels() core.Experiment {
 				for c := 0; c < channels; c++ {
 					members := names[c*per : (c+1)*per]
 					chNames[c] = fmt.Sprintf("ch%d", c)
-					if _, err := nw.CreateChannel(chNames[c], members, permissioned.Policy{Required: 2}); err != nil {
+					if _, err := nw.CreateChannel(chNames[c], members, permissioned.Policy{Required: endorsers}); err != nil {
 						return 0, 0, err
 					}
 					if err := nw.InstallChaincode(chNames[c], "put", put); err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
 	"time"
 
@@ -33,16 +34,16 @@ func e06Throughput() core.Experiment {
 			nw, err := pow.NewNetwork(s, pow.Params{
 				BlockInterval:     10 * time.Minute,
 				BlockSize:         1_000_000,
-				AvgTxSize:         400,
+				AvgTxSize:         knobInt(cfg, "e06.txbytes"),
 				InitialDifficulty: 600,
 			}, []float64{0.3, 0.25, 0.2, 0.15, 0.1})
 			if err != nil {
 				return err
 			}
 			nw.Start()
-			blocks := cfg.ScaleInt(300)
-			if blocks < 50 {
-				blocks = 50
+			blocks, err := scaledSize(cfg, "e06.blocks")
+			if err != nil {
+				return err
 			}
 			if err := s.RunUntil(time.Duration(blocks) * 10 * time.Minute); err != nil {
 				return err
@@ -51,12 +52,13 @@ func e06Throughput() core.Experiment {
 			st := nw.Finalize()
 			tab.AddRowf("bitcoin (simulated)", "event-driven mining network", st.TPS, "3.3-7")
 
-			// Cloud baseline: a 64-shard cluster absorbing VISA's load.
+			// Cloud baseline: a sharded cluster absorbing VISA's load.
+			shards := knobInt(cfg, "e06.shards")
 			s2 := sim.New(sim.WithSeed(cfg.Seed))
 			cluster, err := cloudbase.NewCluster(s2, cloudbase.Config{
-				Shards:         64,
+				Shards:         shards,
 				ServiceTime:    time.Millisecond,
-				CrossShardFrac: 0.1,
+				CrossShardFrac: knobFloat(cfg, "e06.crossshard"),
 			})
 			if err != nil {
 				return err
@@ -69,7 +71,7 @@ func e06Throughput() core.Experiment {
 			if err != nil {
 				return err
 			}
-			tab.AddRowf("cloud OLTP (simulated)", "64 shards, partitioned, trusted", cst.TPS, "24000 (VISA)")
+			tab.AddRowf("cloud OLTP (simulated)", fmt.Sprintf("%d shards, partitioned, trusted", shards), cst.TPS, "24000 (VISA)")
 			tab.AddNote("p99 latency on the cloud baseline: %v at full VISA load", cst.P99)
 			r.Tables = append(r.Tables, tab)
 
@@ -97,9 +99,9 @@ func e07Difficulty() core.Experiment {
 			const target = 10 * time.Minute
 			// The retarget window scales with the run so adjustment lag
 			// stays proportional at reduced scales.
-			window := cfg.ScaleInt(50)
-			if window < 10 {
-				window = 10
+			window, err := scaledSize(cfg, "e07.window")
+			if err != nil {
+				return err
 			}
 			nw, err := pow.NewNetwork(s, pow.Params{
 				BlockInterval:     target,
@@ -110,11 +112,12 @@ func e07Difficulty() core.Experiment {
 				return err
 			}
 			nw.Start()
-			epochs := 6
-			epochLen := time.Duration(cfg.ScaleInt(100)) * target
-			if epochLen < 20*target {
-				epochLen = 20 * target
+			epochs := knobInt(cfg, "e07.epochs")
+			epochBlocks, err := scaledSize(cfg, "e07.epochblocks")
+			if err != nil {
+				return err
 			}
+			epochLen := time.Duration(epochBlocks) * target
 			for e := 1; e <= epochs; e++ {
 				e := e
 				s.At(time.Duration(e)*epochLen, func() {
@@ -141,7 +144,8 @@ func e07Difficulty() core.Experiment {
 			ideal := math.Pow(2, float64(epochs)) * target.Seconds()
 			ratio := nw.Difficulty() / ideal
 			r.AddCheck(ratio > 0.4 && ratio < 2.5, "difficulty-tracks-hashrate",
-				"final difficulty %.0f vs ideal %.0f (ratio %.2f) after 64x growth", nw.Difficulty(), ideal, ratio)
+				"final difficulty %.0f vs ideal %.0f (ratio %.2f) after %.0fx growth",
+				nw.Difficulty(), ideal, ratio, math.Pow(2, float64(epochs)))
 			meanErr := math.Abs(st.MeanInterval.Seconds()-target.Seconds()) / target.Seconds()
 			r.AddCheck(meanErr < 0.35, "interval-near-target",
 				"overall mean interval %.0fs vs 600s target (adjustment lag included)", st.MeanInterval.Seconds())
@@ -159,12 +163,13 @@ func e08ForkRate() core.Experiment {
 		title: "Fork rate vs block interval — the trilemma's mechanics",
 		claim: "§III-C P2: a completely open network of thousands of heterogeneous nodes is a serious burden for performance (Buterin's scalability trilemma: scalability, decentralization, security — pick two).",
 		run: func(cfg core.Config, r *core.Result) error {
-			blocks := cfg.ScaleInt(1500)
-			if blocks < 200 {
-				blocks = 200
+			blocks, err := scaledSize(cfg, "e08.blocks")
+			if err != nil {
+				return err
 			}
-			propagation := 6 * time.Second // ~1MB over a global gossip mesh
-			tab := metrics.NewTable("stale rate vs block interval (6s propagation, simulated)",
+			// ~1MB over a global gossip mesh by default.
+			propagation := time.Duration(knobFloat(cfg, "e08.propagation") * float64(time.Second))
+			tab := metrics.NewTable(fmt.Sprintf("stale rate vs block interval (%s propagation, simulated)", propagation),
 				"interval", "throughput gain", "stale rate (sim)", "stale rate (model)", "honest share needed to attack")
 			fig := &metrics.Figure{Title: "stale rate", XLabel: "propagation/interval", YLabel: "stale rate"}
 			var rates []float64
@@ -223,16 +228,17 @@ func e09Selfish() core.Experiment {
 		claim: "§III-C P1: the incentive mechanism of Bitcoin is flawed — a minority colluding pool can obtain more revenue than the pool's fair share (Eyal & Sirer).",
 		run: func(cfg core.Config, r *core.Result) error {
 			g := sim.NewRNG(cfg.Seed)
-			blocks := cfg.ScaleInt(300_000)
-			if blocks < 50_000 {
-				blocks = 50_000
+			blocks, err := scaledSize(cfg, "e09.blocks")
+			if err != nil {
+				return err
 			}
 			tab := metrics.NewTable("selfish mining revenue share (simulated vs closed form)",
 				"alpha", "gamma", "revenue (sim)", "revenue (Eyal-Sirer eq.8)", "fair share", "profitable")
 			fig := &metrics.Figure{Title: "selfish mining", XLabel: "alpha", YLabel: "revenue share"}
 			var maxDelta float64
 			var profitableBelow, unprofitableAbove bool
-			for _, gamma := range []float64{0, 0.5} {
+			gamma2 := knobFloat(cfg, "e09.gamma")
+			for _, gamma := range []float64{0, gamma2} {
 				for _, alpha := range []float64{0.15, 0.25, 0.3, 0.35, 0.4, 0.45} {
 					out, err := pow.SimulateSelfishMining(g, alpha, gamma, blocks)
 					if err != nil {
@@ -257,7 +263,11 @@ func e09Selfish() core.Experiment {
 					}
 				}
 			}
-			tab.AddNote("threshold (gamma=0) = 1/3; (gamma=0.5) = 1/4")
+			if gamma2 == 0.5 {
+				tab.AddNote("threshold (gamma=0) = 1/3; (gamma=0.5) = 1/4")
+			} else {
+				tab.AddNote("threshold (gamma=0) = 1/3; (gamma=%g) = %.4g", gamma2, pow.SelfishThreshold(gamma2))
+			}
 			r.Tables = append(r.Tables, tab)
 			r.Figures = append(r.Figures, fig)
 			r.AddCheck(maxDelta < 0.015, "matches-closed-form",
@@ -278,10 +288,11 @@ func e17DoubleSpend() core.Experiment {
 		claim: "§III-A: modifying the chain requires redoing the proof-of-work for the block and all that follow — a feat possible only with more than half the computing power (Nakamoto's confirmation analysis).",
 		run: func(cfg core.Config, r *core.Result) error {
 			g := sim.NewRNG(cfg.Seed)
-			trials := cfg.ScaleInt(20_000)
-			if trials < 2_000 {
-				trials = 2_000
+			trials, err := scaledSize(cfg, "e17.trials")
+			if err != nil {
+				return err
 			}
+			risk := knobFloat(cfg, "e17.risk")
 			tab := metrics.NewTable("double-spend success probability",
 				"attacker share q", "z", "Nakamoto closed form", "exact race", "monte carlo")
 			var maxDelta float64
@@ -299,10 +310,11 @@ func e17DoubleSpend() core.Experiment {
 					tab.AddRowf(q, z, nak, exact, mc)
 				}
 			}
-			tab.AddNote("confirmations needed for <0.1%% risk: q=0.1 -> %d, q=0.3 -> %d, q=0.45 -> %d",
-				pow.ConfirmationsForRisk(0.1, 0.001, 1000),
-				pow.ConfirmationsForRisk(0.3, 0.001, 1000),
-				pow.ConfirmationsForRisk(0.45, 0.001, 1000))
+			tab.AddNote("confirmations needed for <%g%% risk: q=0.1 -> %d, q=0.3 -> %d, q=0.45 -> %d",
+				risk*100,
+				pow.ConfirmationsForRisk(0.1, risk, 1000),
+				pow.ConfirmationsForRisk(0.3, risk, 1000),
+				pow.ConfirmationsForRisk(0.45, risk, 1000))
 			r.Tables = append(r.Tables, tab)
 			r.AddCheck(maxDelta < 0.02, "monte-carlo-matches-exact",
 				"max |mc - exact| = %.4f", maxDelta)

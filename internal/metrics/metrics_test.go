@@ -300,3 +300,55 @@ func TestTableAndFigureJSON(t *testing.T) {
 		t.Fatalf("figure round trip lost data: %+v", backF)
 	}
 }
+
+// TestSampleSingleObservation pins percentile behavior at n=1: every
+// percentile, the median included, is the lone observation.
+func TestSampleSingleObservation(t *testing.T) {
+	var s Sample
+	s.Add(42)
+	for _, p := range []float64{0, 1, 50, 90, 99, 100} {
+		if got := s.Percentile(p); got != 42 {
+			t.Fatalf("Percentile(%g) = %g with one observation, want 42", p, got)
+		}
+	}
+	if s.Median() != 42 {
+		t.Fatalf("Median = %g, want 42", s.Median())
+	}
+}
+
+// TestSampleCDFOnePoint pins the points=1 edge: a single summary point at
+// the sample minimum with its empirical rank, not a division by zero.
+func TestSampleCDFOnePoint(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{3, 1, 2, 4} {
+		s.Add(x)
+	}
+	pts := s.CDF(1)
+	if len(pts) != 1 {
+		t.Fatalf("CDF(1) returned %d points, want 1", len(pts))
+	}
+	if pts[0].X != 1 || pts[0].Y != 0.25 {
+		t.Fatalf("CDF(1) = {%g, %g}, want {1, 0.25}", pts[0].X, pts[0].Y)
+	}
+
+	var one Sample
+	one.Add(7)
+	pts = one.CDF(1)
+	if len(pts) != 1 || pts[0].X != 7 || pts[0].Y != 1 {
+		t.Fatalf("CDF(1) on a single observation = %v, want [{7, 1}]", pts)
+	}
+}
+
+// TestGiniNegativeInputs pins the documented clamp: negative values count
+// as zero, and an all-negative (hence all-zero) input yields 0.
+func TestGiniNegativeInputs(t *testing.T) {
+	if got, want := Gini([]float64{-1, 1}), Gini([]float64{0, 1}); got != want {
+		t.Fatalf("Gini([-1,1]) = %g, want %g (negatives clamp to zero)", got, want)
+	}
+	if got := Gini([]float64{-3, -2, -1}); got != 0 {
+		t.Fatalf("Gini(all-negative) = %g, want 0", got)
+	}
+	if got := Gini([]float64{-5, 10, 10}); got != Gini([]float64{0, 10, 10}) {
+		t.Fatalf("Gini with a negative entry diverges from the clamped equivalent")
+	}
+}

@@ -6,6 +6,13 @@
 // sequence) order from a binary heap. There is no wall-clock dependence and no
 // concurrency inside a run, so a (seed, configuration) pair always reproduces
 // the same trajectory bit-for-bit.
+//
+// Cancellation is eager: Event.Cancel (and Ticker.Stop) removes the event
+// from the heap immediately and releases its callback, so canceled timers do
+// not linger until their fire time, Pending reports the exact live-event
+// count, and a stopped Ticker's closure is collectable at once. Removal
+// preserves (time, sequence) order of the remaining events, so canceling
+// never perturbs determinism.
 package sim
 
 import (
@@ -26,17 +33,25 @@ type Event struct {
 	at       time.Duration
 	seq      uint64
 	fn       func()
+	q        *eventQueue
 	index    int // position in the heap, -1 once popped or canceled
 	canceled bool
 }
 
-// Cancel prevents the event from firing. Canceling an event that has already
-// fired (or was already canceled) is a no-op.
+// Cancel prevents the event from firing. The event is removed from the
+// schedule eagerly and its callback released, so canceling is O(log n) now
+// rather than a deferred skip at fire time: a canceled long-horizon timer
+// neither pins its closure nor inflates Pending. Canceling an event that has
+// already fired (or was already canceled) is a no-op.
 func (e *Event) Cancel() {
-	if e == nil {
+	if e == nil || e.canceled {
 		return
 	}
 	e.canceled = true
+	if e.q != nil && e.index >= 0 {
+		heap.Remove(e.q, e.index)
+	}
+	e.fn = nil
 }
 
 // Canceled reports whether Cancel was called on the event.
@@ -84,8 +99,9 @@ func (s *Sim) Now() time.Duration { return s.now }
 // Fired returns the number of events executed so far.
 func (s *Sim) Fired() uint64 { return s.fired }
 
-// Pending returns the number of events currently scheduled (including
-// canceled events that have not yet been discarded).
+// Pending returns the exact number of live events currently scheduled;
+// canceled events are removed from the schedule immediately and never
+// counted.
 func (s *Sim) Pending() int { return len(s.queue) }
 
 // Seed returns the master seed the simulator was created with.
@@ -98,7 +114,7 @@ func (s *Sim) At(t time.Duration, fn func()) *Event {
 	if t < s.now || fn == nil {
 		return nil
 	}
-	ev := &Event{at: t, seq: s.seq, fn: fn}
+	ev := &Event{at: t, seq: s.seq, fn: fn, q: &s.queue}
 	s.seq++
 	heap.Push(&s.queue, ev)
 	return ev
@@ -159,7 +175,9 @@ func (t *Ticker) Stop() {
 }
 
 // Stop halts the simulation: the current Run call returns ErrStopped after
-// the in-flight event completes.
+// the in-flight event completes. Calling Stop while no Run variant is in
+// flight is not lost — the next Run variant returns ErrStopped immediately,
+// before executing any event.
 func (s *Sim) Stop() { s.stopped = true }
 
 // Run executes events until the queue is empty or Stop is called. It returns
@@ -179,22 +197,28 @@ func (s *Sim) RunFor(d time.Duration) error {
 }
 
 // RunUntil executes events with timestamps <= horizon, then sets the clock to
-// horizon. It returns ErrStopped if Stop was called, nil otherwise.
+// horizon. It returns ErrStopped if Stop was called, nil otherwise. A Stop
+// issued before the call (with no Run in flight) makes it return ErrStopped
+// immediately without executing anything; the stop is consumed either way, so
+// the following Run variant proceeds normally.
 func (s *Sim) RunUntil(horizon time.Duration) error {
-	s.stopped = false
+	if s.stopped {
+		s.stopped = false
+		return ErrStopped
+	}
 	for len(s.queue) > 0 {
 		next := s.queue[0]
 		if next.at > horizon {
 			break
 		}
 		heap.Pop(&s.queue)
-		if next.canceled {
-			continue
-		}
+		// Cancel removes events from the heap eagerly, so a popped event
+		// is always live.
 		s.now = next.at
 		s.fired++
 		next.fn()
 		if s.stopped {
+			s.stopped = false
 			return ErrStopped
 		}
 	}

@@ -83,6 +83,140 @@ func TestCancel(t *testing.T) {
 	}
 }
 
+// TestCancelEager verifies cancellation removes the event from the schedule
+// immediately: Pending drops at Cancel time, not at the event's fire time.
+func TestCancelEager(t *testing.T) {
+	s := New()
+	s.At(time.Second, func() {})
+	ev := s.At(time.Hour, func() { t.Error("canceled event fired") })
+	s.At(2*time.Second, func() {})
+	if s.Pending() != 3 {
+		t.Fatalf("Pending = %d before cancel, want 3", s.Pending())
+	}
+	ev.Cancel()
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d after cancel, want 2 (eager removal)", s.Pending())
+	}
+	ev.Cancel() // second cancel is a no-op
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d after double cancel, want 2", s.Pending())
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.Fired() != 2 {
+		t.Fatalf("Fired = %d, want 2", s.Fired())
+	}
+}
+
+// TestCancelPreservesOrder cancels interleaved events and checks the
+// survivors still fire in (time, sequence) order.
+func TestCancelPreservesOrder(t *testing.T) {
+	s := New()
+	var got []int
+	var evs []*Event
+	for i := 0; i < 10; i++ {
+		i := i
+		evs = append(evs, s.At(time.Duration(i)*time.Second, func() { got = append(got, i) }))
+	}
+	for i := 1; i < 10; i += 2 {
+		evs[i].Cancel()
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{0, 2, 4, 6, 8}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+// TestCancelAfterFire verifies canceling an already-fired event is a no-op
+// and does not disturb the remaining schedule.
+func TestCancelAfterFire(t *testing.T) {
+	s := New()
+	fired := 0
+	ev := s.At(time.Second, func() { fired++ })
+	s.At(2*time.Second, func() { fired++ })
+	if err := s.RunUntil(time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	ev.Cancel()
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+}
+
+// TestTickerStopUnschedules verifies a stopped ticker's pending tick leaves
+// the heap immediately instead of lingering to its fire time.
+func TestTickerStopUnschedules(t *testing.T) {
+	s := New()
+	tk, err := s.Every(time.Hour, func() {})
+	if err != nil {
+		t.Fatalf("Every: %v", err)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d after Every, want 1", s.Pending())
+	}
+	tk.Stop()
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d after Ticker.Stop, want 0 (eager removal)", s.Pending())
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.Fired() != 0 {
+		t.Fatalf("Fired = %d, want 0", s.Fired())
+	}
+}
+
+// TestStopBeforeRun verifies a Stop issued while no Run is in flight is not
+// erased: the next Run variant returns ErrStopped immediately, and the stop
+// is consumed so the run after that proceeds.
+func TestStopBeforeRun(t *testing.T) {
+	s := New()
+	count := 0
+	s.At(time.Second, func() { count++ })
+	s.Stop()
+	if err := s.Run(); err != ErrStopped {
+		t.Fatalf("Run after idle Stop = %v, want ErrStopped", err)
+	}
+	if count != 0 {
+		t.Fatalf("executed %d events despite pre-run Stop, want 0", count)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run after consumed Stop: %v", err)
+	}
+	if count != 1 {
+		t.Fatalf("executed %d events, want 1", count)
+	}
+}
+
+// TestStopConsumedByRunVariants checks each Run variant honors and consumes
+// a pre-run Stop.
+func TestStopConsumedByRunVariants(t *testing.T) {
+	s := New()
+	s.Stop()
+	if err := s.RunUntil(time.Minute); err != ErrStopped {
+		t.Fatalf("RunUntil after idle Stop = %v, want ErrStopped", err)
+	}
+	s.Stop()
+	if err := s.RunFor(time.Minute); err != ErrStopped {
+		t.Fatalf("RunFor after idle Stop = %v, want ErrStopped", err)
+	}
+	if err := s.RunFor(time.Minute); err != nil {
+		t.Fatalf("RunFor after consumed Stop: %v", err)
+	}
+}
+
 func TestRunUntilHorizon(t *testing.T) {
 	s := New()
 	var fired []time.Duration
