@@ -1,6 +1,6 @@
 package decent
 
-// One benchmark per experiment (E01–E18): each regenerates its paper
+// One benchmark per experiment (E01–E19): each regenerates its paper
 // claim's table/figure at a reduced scale and reports the experiment's key
 // metric alongside ns/op. Run with:
 //
@@ -174,5 +174,11 @@ func BenchmarkE17DoubleSpend(b *testing.B) {
 func BenchmarkE18OffChainChannels(b *testing.B) {
 	runExperiment(b, "E18", func(r *core.Result) (string, float64) {
 		return "hub-top3-share", cell(b, r, 0, 0, 3)
+	})
+}
+
+func BenchmarkE19GeoPartitionedPoW(b *testing.B) {
+	runExperiment(b, "E19", func(r *core.Result) (string, float64) {
+		return "partitioned-stale-rate", cell(b, r, 0, 1, 4)
 	})
 }

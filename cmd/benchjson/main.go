@@ -1,0 +1,138 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON array so CI can archive benchmark trajectories as artifacts:
+//
+//	go test -run '^$' -bench Transport -benchmem ./internal/netmodel | benchjson -out BENCH_transport.json
+//
+// Each benchmark line becomes one object with the name exactly as printed
+// (including any -GOMAXPROCS suffix, benchstat-style: stripping it can eat
+// a sub-benchmark's trailing "-1000" on single-CPU runners where Go omits
+// the suffix), iteration count, ns/op, and — when -benchmem is on — B/op
+// and allocs/op, plus the owning package from the `pkg:` header lines.
+// Results are sorted by (package, name) so the artifact is deterministic
+// regardless of package ordering.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Pkg is the import path from the most recent `pkg:` header line, so
+	// same-named benchmarks from different packages stay distinguishable.
+	Pkg      string  `json:"pkg,omitempty"`
+	Name     string  `json:"name"`
+	Iters    int64   `json:"iterations"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BPerOp   *int64  `json:"bytes_per_op,omitempty"`
+	AllocsOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+// benchLine matches `BenchmarkName-8  123  45.6 ns/op [ 7.8 MB/s ] [ 7 B/op
+// 0 allocs/op ]` — the MB/s column appears when a benchmark calls
+// b.SetBytes and must not detach the memory fields behind it.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+[\d.]+ MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// Parse extracts benchmark results from go test output, sorted by
+// (package, name).
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	var pkg string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad iteration count in %q: %w", sc.Text(), err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		res := Result{Pkg: pkg, Name: m[1], Iters: iters, NsPerOp: ns}
+		if m[4] != "" {
+			b, err := strconv.ParseInt(m[4], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad B/op in %q: %w", sc.Text(), err)
+			}
+			res.BPerOp = &b
+		}
+		if m[5] != "" {
+			a, err := strconv.ParseInt(m[5], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad allocs/op in %q: %w", sc.Text(), err)
+			}
+			res.AllocsOp = &a
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Pkg != out[j].Pkg {
+			return out[i].Pkg < out[j].Pkg
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out, nil
+}
+
+func run(in io.Reader, outPath string) error {
+	results, err := Parse(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines found in input")
+	}
+	enc, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if outPath == "" || outPath == "-" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(outPath, enc, 0o644)
+}
+
+func main() {
+	in := flag.String("in", "", "input file (default: stdin)")
+	out := flag.String("out", "", "output file (default: stdout)")
+	flag.Parse()
+	src := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		src = f
+	}
+	if err := run(src, *out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

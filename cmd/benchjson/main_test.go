@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/netmodel
+cpu: whatever
+BenchmarkTransportSend-8         	 2000000	       512.3 ns/op	       0 B/op	       0 allocs/op
+BenchmarkTransportBroadcast-8    	   50000	     31000 ns/op	      16 B/op	       1 allocs/op
+BenchmarkKernelAfterFuncPooled   	 3000000	       401 ns/op
+PASS
+ok  	repro/internal/netmodel	3.2s
+`
+
+func TestParse(t *testing.T) {
+	results, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+	// Sorted by name; names keep the printed -GOMAXPROCS suffix
+	// (benchstat-style) so a sub-benchmark's own "-1000" can never be
+	// mistaken for one on single-CPU runners.
+	if results[0].Name != "BenchmarkKernelAfterFuncPooled" ||
+		results[1].Name != "BenchmarkTransportBroadcast-8" ||
+		results[2].Name != "BenchmarkTransportSend-8" {
+		t.Fatalf("order = %v, want name-sorted with suffixes kept", results)
+	}
+	send := results[2]
+	if send.Iters != 2000000 || send.NsPerOp != 512.3 {
+		t.Fatalf("send = %+v", send)
+	}
+	if send.Pkg != "repro/internal/netmodel" {
+		t.Fatalf("pkg = %q, want the pkg: header value", send.Pkg)
+	}
+	if send.BPerOp == nil || *send.BPerOp != 0 || send.AllocsOp == nil || *send.AllocsOp != 0 {
+		t.Fatalf("send memory stats = %+v, want 0/0", send)
+	}
+	// A line without -benchmem has no memory fields.
+	if results[0].BPerOp != nil || results[0].AllocsOp != nil {
+		t.Fatalf("kernel bench should have no memory stats: %+v", results[0])
+	}
+}
+
+func TestParseSetBytesThroughputColumn(t *testing.T) {
+	// b.SetBytes inserts an MB/s column between ns/op and B/op; the memory
+	// fields behind it must still be captured.
+	in := "BenchmarkX-8 \t 1000 \t 512 ns/op \t 45.00 MB/s \t 7 B/op \t 0 allocs/op\n"
+	results, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("parsed %d results, want 1", len(results))
+	}
+	r := results[0]
+	if r.BPerOp == nil || *r.BPerOp != 7 || r.AllocsOp == nil || *r.AllocsOp != 0 {
+		t.Fatalf("memory fields lost behind MB/s column: %+v", r)
+	}
+}
+
+func TestParseKeepsSubBenchmarkParams(t *testing.T) {
+	// GOMAXPROCS=1 output: Go omits the CPU suffix, so a trailing -1000 is
+	// part of the name and must survive.
+	in := "BenchmarkTransportSend/size-1000 \t 100 \t 42 ns/op\n" +
+		"BenchmarkTransportSend/size-2000 \t 100 \t 84 ns/op\n"
+	results, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(results) != 2 ||
+		results[0].Name != "BenchmarkTransportSend/size-1000" ||
+		results[1].Name != "BenchmarkTransportSend/size-2000" {
+		t.Fatalf("sub-benchmark names mangled: %+v", results)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	results, err := Parse(strings.NewReader("hello\nnothing here\n"))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("parsed %d results from noise, want 0", len(results))
+	}
+}
+
+func TestRunWritesDeterministicJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run(strings.NewReader(sample), out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	var results []Result
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("round-tripped %d results, want 3", len(results))
+	}
+	if err := run(strings.NewReader("no benchmarks"), out); err == nil {
+		t.Fatal("empty input should be an error, not an empty artifact")
+	}
+}

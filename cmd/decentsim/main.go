@@ -14,7 +14,7 @@
 //	decentsim sweep -seeds 1..3 -set e06.shards=16,64,256 -set e06.crossshard=0.1,0.5 E06
 //	decentsim rep -n 10 E06            # replicate over seeds 1..n, aggregate
 //
-// Every experiment E01–E18 registers sweepable knobs; -set accepts any
+// Every experiment E01–E19 registers sweepable knobs; -set accepts any
 // name listed in DESIGN.md's knob table (unknown names are rejected with
 // the full list).
 //

@@ -33,6 +33,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/harness"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
 )
 
 // Config controls an experiment run. It is re-exported from the core
@@ -71,7 +73,79 @@ type Report = harness.Report
 // Runner is the harness worker pool for custom registries.
 type Runner = harness.Runner
 
-// Experiments returns the full registry (E01–E18) in paper order.
+// Transport re-exports — the unified WAN layer every substrate's message
+// delivery rides on. Library users compose custom scenarios the same way
+// the experiments do: build a Sim, attach a Transport, realize a
+// TransportTopology, and schedule condition windows on it.
+
+// Sim is the deterministic discrete-event kernel.
+type Sim = sim.Sim
+
+// NewSim builds a simulator whose named RNG streams derive from seed.
+func NewSim(seed int64) *Sim {
+	return sim.New(sim.WithSeed(seed))
+}
+
+// Transport is the simulated wide-area network: regional latencies,
+// asymmetric access bandwidth, loss, partitions, and scheduled condition
+// windows, with allocation-free Send/Broadcast delivery.
+type Transport = netmodel.Net
+
+// TransportOption configures a Transport (jitter, loss).
+type TransportOption = netmodel.Option
+
+// WithJitter and WithLoss are the Transport constructor options.
+var (
+	WithJitter = netmodel.WithJitter
+	WithLoss   = netmodel.WithLoss
+)
+
+// NewTransport attaches a WAN model to the simulator.
+func NewTransport(s *Sim, opts ...TransportOption) *Transport {
+	return netmodel.New(s, opts...)
+}
+
+// Region is a coarse geographic location on the Transport.
+type Region = netmodel.Region
+
+// TransportNode identifies a node attached to the Transport.
+type TransportNode = netmodel.NodeID
+
+// The supported regions.
+const (
+	NorthAmerica = netmodel.NorthAmerica
+	Europe       = netmodel.Europe
+	Asia         = netmodel.Asia
+	SouthAmerica = netmodel.SouthAmerica
+	Oceania      = netmodel.Oceania
+	Africa       = netmodel.Africa
+)
+
+// TransportTopology describes a node population statistically (weighted
+// regional mix plus bandwidth classes) for Transport.BuildTopology.
+type TransportTopology = netmodel.TopologySpec
+
+// RegionWeight is one component of a regional mix.
+type RegionWeight = netmodel.RegionWeight
+
+// BandwidthClass is one weighted access-link tier.
+type BandwidthClass = netmodel.BandwidthClass
+
+// MixPreset returns one of the named regional mixes (1..NumMixPresets).
+func MixPreset(i int) ([]RegionWeight, error) {
+	return netmodel.MixPreset(i)
+}
+
+// NumMixPresets is the count of named regional mixes.
+const NumMixPresets = netmodel.NumMixPresets
+
+// Shared transport pacing defaults (substrate retry/pacing timescales).
+const (
+	TransportRetryDelay = netmodel.DefaultRetryDelay
+	TransportPacing     = netmodel.DefaultPacing
+)
+
+// Experiments returns the full registry (E01–E19) in paper order.
 func Experiments() (*Registry, error) {
 	return experiments.Registry()
 }
@@ -87,7 +161,7 @@ func Knobs() map[string]string {
 type KnobSpec = experiments.KnobSpec
 
 // KnobSpecs returns the full sweepable-knob registry, one or more knobs
-// per experiment E01–E18.
+// per experiment E01–E19.
 func KnobSpecs() map[string]KnobSpec {
 	return experiments.KnobSpecs()
 }

@@ -13,8 +13,8 @@ func TestExperimentsRegistry(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Experiments: %v", err)
 	}
-	if len(reg.All()) != 18 {
-		t.Fatalf("registry size = %d, want 18", len(reg.All()))
+	if len(reg.All()) != 19 {
+		t.Fatalf("registry size = %d, want 19", len(reg.All()))
 	}
 }
 
@@ -57,5 +57,35 @@ func TestForeignKnobRejectedAtLibraryLevel(t *testing.T) {
 func TestRunUnknown(t *testing.T) {
 	if _, err := Run("E99", Config{}); !errors.Is(err, core.ErrUnknownExperiment) {
 		t.Fatalf("unknown id error = %v", err)
+	}
+}
+
+func TestTransportReExports(t *testing.T) {
+	s := NewSim(7)
+	nm := NewTransport(s, WithJitter(0), WithLoss(0))
+	mix, err := MixPreset(1)
+	if err != nil {
+		t.Fatalf("MixPreset: %v", err)
+	}
+	ids, err := nm.BuildTopology(TransportTopology{
+		Nodes: 6,
+		Mix:   mix,
+		Classes: []BandwidthClass{
+			{Name: "fiber", UplinkBps: 100e6, DownlinkBps: 100e6, Weight: 1},
+		},
+	})
+	if err != nil {
+		t.Fatalf("BuildTopology: %v", err)
+	}
+	delivered := 0
+	nm.Broadcast(ids[0], 1000, func(TransportNode) { delivered++ })
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if delivered != 5 {
+		t.Fatalf("delivered = %d, want 5", delivered)
+	}
+	if TransportRetryDelay <= 0 || TransportPacing <= 0 || NumMixPresets < 1 {
+		t.Fatal("transport defaults not exported")
 	}
 }

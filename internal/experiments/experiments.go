@@ -1,4 +1,4 @@
-// Package experiments implements one runner per paper claim (E01–E18),
+// Package experiments implements one runner per paper claim (E01–E19),
 // composing the substrate packages into the tables and figures listed in
 // DESIGN.md. Each runner returns a core.Result whose checks encode the
 // claim's expected shape.
@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/netmodel"
 )
 
 // exp is the shared experiment scaffold.
@@ -52,7 +53,7 @@ type KnobSpec struct {
 // KnobSpecs is the registry of sweepable knobs. Experiments read knobs
 // via knobInt/knobFloat (which apply the spec default), the shared run
 // scaffold enforces Min/Max centrally, and decentsim's -set flag accepts
-// only names registered here. Every experiment E01–E18 registers its
+// only names registered here. Every experiment E01–E19 registers its
 // load-bearing parameters; defaults equal the documented baseline
 // literals, so knob-free runs are byte-identical to the baseline. New
 // knobs must be added here and in DESIGN.md.
@@ -109,6 +110,8 @@ var knobSpecs = map[string]KnobSpec{
 	// E08 — fork rate vs interval.
 	"e08.blocks":      {Default: 1500, Min: 200, Max: 1_000_000, Integer: true, Desc: "E08: blocks mined per interval setting, before scaling"},
 	"e08.propagation": {Default: 6, Min: 0.5, Max: 120, Desc: "E08: mean block propagation delay (seconds)"},
+	"e08.mix":         {Default: 0, Min: 0, Max: netmodel.NumMixPresets, Integer: true, Desc: "E08: miner region mix preset for WAN-backed relay (0 = abstract propagation)"},
+	"e08.loss":        {Default: 0, Min: 0, Max: 0.5, Desc: "E08: per-message loss probability on the WAN relay (needs e08.mix > 0)"},
 
 	// E09 — selfish mining. The gamma floor keeps the contested
 	// scenario distinct from the fixed gamma=0 pass: 0 would silently
@@ -168,6 +171,15 @@ var knobSpecs = map[string]KnobSpec{
 	"e18.hubs":       {Default: 3, Min: 1, Max: 20, Integer: true, Desc: "E18: hubs in the hub-and-spoke topology"},
 	"e18.meshdegree": {Default: 6, Min: 2, Max: 30, Integer: true, Desc: "E18: channel degree in the mesh topology"},
 	"e18.capital":    {Default: 600_000, Min: 1000, Max: 1_000_000_000, Desc: "E18: total locked capital shared by both topologies"},
+	"e18.mix":        {Default: 0, Min: 0, Max: netmodel.NumMixPresets, Integer: true, Desc: "E18: node region mix preset for WAN HTLC latency accounting (0 = off)"},
+
+	// E19 — geo-partitioned PoW.
+	"e19.miners":    {Default: 12, Min: 4, Max: 500, Integer: true, Desc: "E19: miners on the WAN topology"},
+	"e19.blocks":    {Default: 600, Min: 100, Max: 1_000_000, Integer: true, Desc: "E19: target block intervals simulated, before scaling"},
+	"e19.mix":       {Default: 1, Min: 1, Max: netmodel.NumMixPresets, Integer: true, Desc: "E19: miner region mix preset"},
+	"e19.loss":      {Default: 0, Min: 0, Max: 0.5, Desc: "E19: per-message loss probability on the WAN relay"},
+	"e19.partstart": {Default: 0.3, Min: 0.05, Max: 0.7, Desc: "E19: partition window start as a fraction of the run"},
+	"e19.partdur":   {Default: 0.3, Min: 0.05, Max: 0.5, Desc: "E19: partition window length as a fraction of the run"},
 }
 
 // Knobs lists the sweepable knobs as name -> rendered description.
@@ -187,6 +199,14 @@ func knobInt(cfg core.Config, name string) int {
 // knobFloat reads a registered non-integer knob with its spec default.
 func knobFloat(cfg core.Config, name string) float64 {
 	return cfg.Param(name, knobSpecs[name].Default)
+}
+
+// knobIndex reads a registered integer selector knob whose valid range
+// includes 0 (an "off" value). ParamInt floors its result at 1, so routing
+// such knobs through knobInt would silently turn the feature on in
+// knob-free runs; the raw Param value is what the spec validated.
+func knobIndex(cfg core.Config, name string) int {
+	return int(knobFloat(cfg, name))
 }
 
 // scaledSize resolves a workload knob the experiment multiplies by -scale:
@@ -272,5 +292,6 @@ func Registry() (*core.Registry, error) {
 		e16Channels(),
 		e17DoubleSpend(),
 		e18OffChain(),
+		e19GeoPartitionedPoW(),
 	)
 }

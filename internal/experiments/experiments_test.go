@@ -13,8 +13,8 @@ func TestRegistryComplete(t *testing.T) {
 		t.Fatalf("Registry: %v", err)
 	}
 	all := reg.All()
-	if len(all) != 18 {
-		t.Fatalf("experiments = %d, want 18", len(all))
+	if len(all) != 19 {
+		t.Fatalf("experiments = %d, want 19", len(all))
 	}
 	for _, e := range all {
 		if !strings.HasPrefix(e.ID(), "E") {

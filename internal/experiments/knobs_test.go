@@ -56,7 +56,7 @@ func TestKnobSpecsWellFormed(t *testing.T) {
 }
 
 // TestEveryExperimentHasKnobs is the sweepability criterion: each of
-// E01–E18 must register at least one knob.
+// E01–E19 must register at least one knob.
 func TestEveryExperimentHasKnobs(t *testing.T) {
 	reg, err := Registry()
 	if err != nil {

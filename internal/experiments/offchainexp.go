@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/netmodel"
 	"repro/internal/offchain"
 	"repro/internal/sim"
 )
@@ -34,11 +35,29 @@ func e18OffChain() core.Experiment {
 			}
 			// Equal total locked capital in both topologies.
 			totalCapital := knobFloat(cfg, "e18.capital")
+			mixIdx := knobIndex(cfg, "e18.mix")
 
 			build := func(hub bool) (*offchain.Network, error) {
 				nw, err := offchain.NewNetwork(nodes)
 				if err != nil {
 					return nil, err
+				}
+				if mixIdx > 0 {
+					// Ride the shared WAN transport: HTLC hops are charged
+					// on a regional topology and payment latency sampled.
+					mix, err := netmodel.MixPreset(mixIdx)
+					if err != nil {
+						return nil, err
+					}
+					s := sim.New(sim.WithSeed(cfg.Seed))
+					nm := netmodel.New(s, netmodel.WithJitter(0.1))
+					addrs, err := nm.BuildTopology(netmodel.TopologySpec{Nodes: nodes, Mix: mix})
+					if err != nil {
+						return nil, err
+					}
+					if err := nw.AttachTransport(nm, addrs); err != nil {
+						return nil, err
+					}
 				}
 				if hub {
 					// Fully-connected hubs + one channel per leaf: each
@@ -53,10 +72,12 @@ func e18OffChain() core.Experiment {
 				return nw, offchain.BuildMeshTopology(g, nw, degree, perChannel)
 			}
 			type outcome struct {
-				success float64
-				top3    float64
-				gini    float64
-				mult    float64
+				success   float64
+				top3      float64
+				gini      float64
+				mult      float64
+				latMedian float64
+				latP95    float64
 			}
 			measure := func(hub bool) (outcome, error) {
 				nw, err := build(hub)
@@ -75,12 +96,17 @@ func e18OffChain() core.Experiment {
 				top3, gini := nw.HubConcentration(3)
 				ok := float64(nw.Payments()) / float64(attempts)
 				nw.CloseAll()
-				return outcome{
+				out := outcome{
 					success: ok,
 					top3:    top3,
 					gini:    gini,
 					mult:    nw.EffectiveTPSMultiplier(),
-				}, nil
+				}
+				if lat := nw.PaymentLatencies(); lat.Count() > 0 {
+					out.latMedian = lat.Median()
+					out.latP95 = lat.Percentile(95)
+				}
+				return out, nil
 			}
 			hub, err := measure(true)
 			if err != nil {
@@ -96,6 +122,14 @@ func e18OffChain() core.Experiment {
 			tab.AddRowf(fmt.Sprintf("degree-%d mesh", degree), mesh.success, mesh.mult, mesh.top3, mesh.gini)
 			tab.AddNote("hubs win on reliability and efficiency — which is why traffic gravitates to them")
 			r.Tables = append(r.Tables, tab)
+			if mixIdx > 0 {
+				lt := metrics.NewTable(fmt.Sprintf("HTLC payment latency over the WAN (mix preset %d)", mixIdx),
+					"topology", "median (s)", "p95 (s)")
+				lt.AddRowf(fmt.Sprintf("%d hubs + leaves", hubs), hub.latMedian, hub.latP95)
+				lt.AddRowf(fmt.Sprintf("degree-%d mesh", degree), mesh.latMedian, mesh.latP95)
+				lt.AddNote("per-hop forward+settle messages charged on the shared transport")
+				r.Tables = append(r.Tables, lt)
+			}
 
 			r.AddCheck(hub.mult > 20, "layer2-multiplies-throughput",
 				"%.0f payments settled per on-chain transaction", hub.mult)

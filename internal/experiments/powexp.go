@@ -8,6 +8,7 @@ import (
 	"repro/internal/cloudbase"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/netmodel"
 	"repro/internal/pow"
 	"repro/internal/sim"
 )
@@ -169,21 +170,59 @@ func e08ForkRate() core.Experiment {
 			}
 			// ~1MB over a global gossip mesh by default.
 			propagation := time.Duration(knobFloat(cfg, "e08.propagation") * float64(time.Second))
+			mixIdx := knobIndex(cfg, "e08.mix")
+			loss := knobFloat(cfg, "e08.loss")
+			if loss > 0 && mixIdx == 0 {
+				return fmt.Errorf("e08.loss=%g needs a WAN relay: set e08.mix to 1..%d", loss, netmodel.NumMixPresets)
+			}
+			hashrates := []float64{0.25, 0.25, 0.2, 0.15, 0.15}
 			tab := metrics.NewTable(fmt.Sprintf("stale rate vs block interval (%s propagation, simulated)", propagation),
 				"interval", "throughput gain", "stale rate (sim)", "stale rate (model)", "honest share needed to attack")
 			fig := &metrics.Figure{Title: "stale rate", XLabel: "propagation/interval", YLabel: "stale rate"}
 			var rates []float64
 			for _, interval := range []time.Duration{600 * time.Second, 60 * time.Second, 12 * time.Second} {
 				s := sim.New(sim.WithSeed(cfg.Seed))
-				nw, err := pow.NewNetwork(s, pow.Params{
+				params := pow.Params{
 					BlockInterval:     interval,
+					BlockSize:         1_000_000,
 					InitialDifficulty: interval.Seconds(), // total hashrate 1
 					Propagation: func(g *sim.RNG, size int) time.Duration {
 						return g.Jitter(propagation, 0.4)
 					},
-				}, []float64{0.25, 0.25, 0.2, 0.15, 0.15})
-				if err != nil {
-					return err
+				}
+				var nw *pow.Network
+				if mixIdx > 0 {
+					// WAN-backed relay: miners sit on a regional topology
+					// with loss/partition semantics. Copies serialize on
+					// the uplink, so the k-th of the m other miners waits
+					// k transfers; sizing the per-copy time at
+					// 2*propagation/(m+1) puts the MEAN receiver delay at
+					// ~propagation, the abstract model's timescale.
+					mix, err := netmodel.MixPreset(mixIdx)
+					if err != nil {
+						return err
+					}
+					nm := netmodel.New(s, netmodel.WithJitter(0.4), netmodel.WithLoss(loss))
+					upBps := float64(4*params.BlockSize*len(hashrates)) / propagation.Seconds()
+					addrs, err := nm.BuildTopology(netmodel.TopologySpec{
+						Nodes: len(hashrates),
+						Mix:   mix,
+						Classes: []netmodel.BandwidthClass{
+							{Name: "miner", UplinkBps: upBps, Weight: 1},
+						},
+					})
+					if err != nil {
+						return err
+					}
+					nw, err = pow.NewNetworkOverNet(s, nm, addrs, params, hashrates)
+					if err != nil {
+						return err
+					}
+				} else {
+					nw, err = pow.NewNetwork(s, params, hashrates)
+					if err != nil {
+						return err
+					}
 				}
 				nw.Start()
 				if err := s.RunUntil(time.Duration(blocks) * interval); err != nil {
@@ -202,17 +241,27 @@ func e08ForkRate() core.Experiment {
 			}
 			r.Tables = append(r.Tables, tab)
 			r.Figures = append(r.Figures, fig)
-			r.AddCheck(rates[0] < 0.03, "bitcoin-params-low-stale",
+			// Message loss adds a near-interval-independent stale floor (a
+			// miner that misses a block mines blind until the next one
+			// arrives), so with loss enabled the low-stale bound shifts by
+			// the loss rate and the growth check compares absolute growth
+			// above the floor instead of the lossless 5x ratio. At the
+			// lossless default the bounds are exactly the historical ones.
+			r.AddCheck(rates[0] < 0.03+loss, "bitcoin-params-low-stale",
 				"stale rate %.3f at 600s intervals", rates[0])
-			r.AddCheck(rates[len(rates)-1] > 5*rates[0], "throughput-costs-consistency",
-				"stale rate %.3f -> %.3f as interval shrinks 50x", rates[0], rates[len(rates)-1])
+			worst := rates[len(rates)-1]
+			growthOK := worst > 5*rates[0]
+			if loss > 0 {
+				growthOK = worst >= rates[0]+0.03
+			}
+			r.AddCheck(growthOK, "throughput-costs-consistency",
+				"stale rate %.3f -> %.3f as interval shrinks 50x", rates[0], worst)
 			// 1-e^(-d/i) assumes the whole network mines blind for the full
 			// delay; with per-receiver delays and the finder switching
 			// instantly it is an upper bound the simulation should approach
 			// from below.
 			model := pow.StaleRateModel(propagation, 12*time.Second)
-			worst := rates[len(rates)-1]
-			r.AddCheck(worst <= model*1.15 && worst >= model*0.45, "bounded-by-analytic-model",
+			r.AddCheck(worst <= model*1.15+loss && worst >= model*0.45, "bounded-by-analytic-model",
 				"sim %.3f vs upper-bound model %.3f at 12s intervals", worst, model)
 			return nil
 		},

@@ -28,6 +28,10 @@ type Config struct {
 	Fanout int
 	// BroadcastTimeout bounds how long a broadcast is tracked.
 	BroadcastTimeout time.Duration
+	// RoundPacing spaces out MeasurePropagation's broadcast rounds so they
+	// do not overlap in flight (default: the shared transport pacing,
+	// netmodel.DefaultPacing).
+	RoundPacing time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -36,6 +40,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BroadcastTimeout <= 0 {
 		c.BroadcastTimeout = 5 * time.Minute
+	}
+	if c.RoundPacing <= 0 {
+		c.RoundPacing = netmodel.DefaultPacing
 	}
 	return c
 }
@@ -243,7 +250,7 @@ func (nw *Network) MeasurePropagation(rounds, size int, done func(sample *metric
 			remaining--
 			if remaining > 0 {
 				// Space rounds out so broadcasts do not overlap.
-				nw.sim.After(time.Second, runOne)
+				nw.sim.After(nw.cfg.RoundPacing, runOne)
 				return
 			}
 			if done != nil {

@@ -65,15 +65,40 @@ var baseOneWay = [NumRegions][NumRegions]int{
 // NodeID identifies a node attached to the network.
 type NodeID int
 
+// Shared pacing defaults for substrates riding the transport. Retry and
+// pacing delays that used to be hard-coded per substrate are centralized
+// here so every layer backs off on the same timescale.
+const (
+	// DefaultRetryDelay is the resubmission backoff for transient
+	// transport-level failures (no leader yet, full queues).
+	DefaultRetryDelay = 250 * time.Millisecond
+	// DefaultPacing spaces out repeated measurement or broadcast rounds so
+	// they do not overlap in flight.
+	DefaultPacing = time.Second
+)
+
 // Net is a simulated wide-area network. Construct with New; attach nodes
 // with AddNode; deliver messages with Send.
 type Net struct {
-	sim    *sim.Sim
-	rng    *sim.RNG
-	nodes  []nodeState
-	jitter float64
-	loss   float64
-	partOf []int // node index -> partition group; nil when unpartitioned
+	sim      *sim.Sim
+	rng      *sim.RNG
+	nodes    []nodeState
+	jitter   float64
+	loss     float64 // effective rate (a window may be overriding base)
+	baseLoss float64 // ambient rate set by WithLoss/SetLoss
+	partOf   []int   // effective node->group map; nil when unpartitioned
+	basePart []int   // ambient partition set by Partition/Heal
+
+	// scheduled condition windows: intervals for overlap rejection plus
+	// the currently-applied window per state, so a window's end never
+	// clobbers an adjacent window that started at the same instant
+	// (see schedule.go).
+	lossWins   []window
+	partWins   []window
+	outageWins map[NodeID][]window
+	lossOwner  *window
+	partOwner  *window
+	outOwner   map[NodeID]*window
 
 	// traffic accounting
 	bytesSent  []int64
@@ -82,9 +107,11 @@ type Net struct {
 }
 
 type nodeState struct {
-	region Region
-	upBps  float64 // uplink bits/second; 0 = unconstrained
-	up     bool
+	region  Region
+	upBps   float64 // uplink bits/second; 0 = unconstrained
+	downBps float64 // downlink bits/second; 0 = unconstrained
+	up      bool    // effective state (an outage window may override base)
+	baseUp  bool    // ambient state set by SetUp
 }
 
 // Option configures a Net.
@@ -97,7 +124,7 @@ func WithJitter(f float64) Option {
 
 // WithLoss sets the independent per-message loss probability.
 func WithLoss(p float64) Option {
-	return func(n *Net) { n.loss = p }
+	return func(n *Net) { n.loss, n.baseLoss = p, p }
 }
 
 // New creates an empty network bound to the simulator, drawing randomness
@@ -115,9 +142,18 @@ func New(s *sim.Sim, opts ...Option) *Net {
 }
 
 // AddNode attaches a node in the given region with the given uplink
-// bandwidth in bits/second (0 means unconstrained) and returns its id.
+// bandwidth in bits/second (0 means unconstrained) and returns its id. The
+// downlink is unconstrained; use AddNodeLink for asymmetric access links.
 func (n *Net) AddNode(region Region, uplinkBps float64) NodeID {
-	n.nodes = append(n.nodes, nodeState{region: region, upBps: uplinkBps, up: true})
+	return n.AddNodeLink(region, uplinkBps, 0)
+}
+
+// AddNodeLink attaches a node with an asymmetric access link: uplink and
+// downlink bandwidth in bits/second, 0 meaning unconstrained on that
+// direction — the common edge case (home broadband, cellular) where a node
+// can receive far faster than it can serve.
+func (n *Net) AddNodeLink(region Region, uplinkBps, downlinkBps float64) NodeID {
+	n.nodes = append(n.nodes, nodeState{region: region, upBps: uplinkBps, downBps: downlinkBps, up: true, baseUp: true})
 	n.bytesSent = append(n.bytesSent, 0)
 	n.bytesRecvd = append(n.bytesRecvd, 0)
 	n.msgsSent = append(n.msgsSent, 0)
@@ -127,10 +163,16 @@ func (n *Net) AddNode(region Region, uplinkBps float64) NodeID {
 // Size returns the number of attached nodes.
 func (n *Net) Size() int { return len(n.nodes) }
 
-// SetUp marks a node online or offline. Messages to or from offline nodes
-// are silently dropped, mirroring unreachable peers.
+// SetUp marks a node's ambient state online or offline. Messages to or
+// from offline nodes are silently dropped, mirroring unreachable peers.
+// While a scheduled outage window holds the node down, the new ambient
+// state takes effect when the window closes.
 func (n *Net) SetUp(id NodeID, up bool) {
-	if n.valid(id) {
+	if !n.valid(id) {
+		return
+	}
+	n.nodes[id].baseUp = up
+	if n.outOwner[id] == nil {
 		n.nodes[id].up = up
 	}
 }
@@ -162,13 +204,24 @@ func (n *Net) Latency(from, to NodeID) time.Duration {
 	return n.rng.Jitter(base, n.jitter)
 }
 
-// TransferTime returns serialization delay for size bytes on the sender's
-// uplink (zero when unconstrained).
-func (n *Net) TransferTime(from NodeID, size int) time.Duration {
+// TransferTime returns serialization delay for size bytes across the pair
+// of access links: the sender's uplink plus the receiver's downlink
+// (store-and-forward through the wide-area core). Either side contributes
+// zero when unconstrained, so symmetric nets behave exactly as before the
+// downlink term existed.
+func (n *Net) TransferTime(from, to NodeID, size int) time.Duration {
 	if !n.valid(from) || size <= 0 {
 		return 0
 	}
-	bps := n.nodes[from].upBps
+	d := serialization(n.nodes[from].upBps, size)
+	if n.valid(to) {
+		d += serialization(n.nodes[to].downBps, size)
+	}
+	return d
+}
+
+// serialization is size bytes over bps bits/second (0 when unconstrained).
+func serialization(bps float64, size int) time.Duration {
 	if bps <= 0 {
 		return 0
 	}
@@ -176,55 +229,199 @@ func (n *Net) TransferTime(from NodeID, size int) time.Duration {
 	return time.Duration(seconds * float64(time.Second))
 }
 
-// Partition assigns nodes to isolation groups: messages crossing groups are
-// dropped until Heal is called. Nodes not present in groups stay in group 0.
+// Partition assigns the ambient partition: messages crossing groups are
+// dropped until Heal is called. Nodes not present in groups stay in group
+// 0. While a scheduled partition window is active, the new ambient
+// partition takes effect when the window closes.
 func (n *Net) Partition(groups map[NodeID]int) {
-	n.partOf = make([]int, len(n.nodes))
-	for id, g := range groups {
-		if n.valid(id) {
-			n.partOf[id] = g
-		}
+	n.basePart = n.groupSlice(groups)
+	if n.partOwner == nil {
+		n.partOf = n.basePart
 	}
 }
 
-// Heal removes any active partition.
-func (n *Net) Heal() { n.partOf = nil }
+// Heal removes the ambient partition (deferred past any active window,
+// like Partition).
+func (n *Net) Heal() {
+	n.basePart = nil
+	if n.partOwner == nil {
+		n.partOf = nil
+	}
+}
 
+// groupSlice expands a partition map into the per-node group slice.
+func (n *Net) groupSlice(groups map[NodeID]int) []int {
+	out := make([]int, len(n.nodes))
+	for id, g := range groups {
+		if n.valid(id) {
+			out[id] = g
+		}
+	}
+	return out
+}
+
+// partitioned reports whether a partition separates two nodes. Nodes
+// attached after the partition formed sit in group 0, like nodes absent
+// from the Partition call.
 func (n *Net) partitioned(a, b NodeID) bool {
 	if n.partOf == nil {
 		return false
 	}
-	return n.partOf[a] != n.partOf[b]
+	var ga, gb int
+	if int(a) < len(n.partOf) {
+		ga = n.partOf[a]
+	}
+	if int(b) < len(n.partOf) {
+		gb = n.partOf[b]
+	}
+	return ga != gb
+}
+
+// SetLoss updates the ambient per-message loss probability, clamped to
+// [0, 1]. It applies to sends issued after the call; messages already in
+// flight are unaffected. While a scheduled loss window is active, the new
+// ambient rate takes effect when the window closes.
+func (n *Net) SetLoss(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	n.baseLoss = p
+	if n.lossOwner == nil {
+		n.loss = p
+	}
+}
+
+// Loss returns the current per-message loss probability.
+func (n *Net) Loss() float64 { return n.loss }
+
+// reachable reports whether a message can be put on the wire at all: both
+// endpoints online and no partition between them. Loss is decided
+// separately — a lost message was still transmitted (and billed) before
+// vanishing in flight, identically on every transport primitive.
+func (n *Net) reachable(from, to NodeID) bool {
+	if !n.nodes[from].up || !n.nodes[to].up {
+		return false
+	}
+	return !n.partitioned(from, to)
+}
+
+// deliverSend is the pooled delivery handler behind Send: Ctx is the *Net,
+// Aux the caller's deliver callback, A/B the endpoints and C the size. The
+// receiver must still be online and reachable at delivery time — a message
+// in flight when a partition forms (or the receiver goes down) is dropped.
+func deliverSend(p sim.Payload) {
+	n := p.Ctx.(*Net)
+	from, to := NodeID(p.A), NodeID(p.B)
+	if !n.nodes[to].up || n.partitioned(from, to) {
+		return
+	}
+	n.bytesRecvd[to] += p.C
+	p.Aux.(func())()
+}
+
+// deliverBroadcast mirrors deliverSend for Broadcast's per-receiver
+// callback, which takes the receiver's id.
+func deliverBroadcast(p sim.Payload) {
+	n := p.Ctx.(*Net)
+	from, to := NodeID(p.A), NodeID(p.B)
+	if !n.nodes[to].up || n.partitioned(from, to) {
+		return
+	}
+	n.bytesRecvd[to] += p.C
+	p.Aux.(func(NodeID))(to)
 }
 
 // Send schedules delivery of a message of size bytes from one node to
 // another, invoking deliver at the receive time. It returns false if the
 // message was dropped (loss, partition, or an endpoint being offline at send
-// time; delivery additionally checks the receiver is still online).
+// time; delivery additionally checks the receiver is still online and
+// unpartitioned). A message to an unreachable peer is never transmitted and
+// charges nothing; a message lost to the loss draw was transmitted and then
+// dropped in flight, so it still bills the sender's traffic — the same rule
+// Broadcast and Transfer apply. Send is the transport's hot path: delivery
+// rides the sim kernel's pooled handler events, so a steady-state Send
+// performs zero allocations (the deliver func itself should be reused by
+// callers that care).
 func (n *Net) Send(from, to NodeID, size int, deliver func()) bool {
 	if !n.valid(from) || !n.valid(to) || deliver == nil {
 		return false
 	}
-	if !n.nodes[from].up || !n.nodes[to].up {
-		return false
-	}
-	if n.partitioned(from, to) {
-		return false
-	}
-	if n.loss > 0 && n.rng.Bool(n.loss) {
+	if !n.reachable(from, to) {
 		return false
 	}
 	n.bytesSent[from] += int64(size)
 	n.msgsSent[from]++
-	delay := n.TransferTime(from, size) + n.Latency(from, to)
-	n.sim.After(delay, func() {
-		if !n.nodes[to].up || n.partitioned(from, to) {
-			return
-		}
-		n.bytesRecvd[to] += int64(size)
-		deliver()
+	if n.loss > 0 && n.rng.Bool(n.loss) {
+		return false
+	}
+	delay := n.TransferTime(from, to, size) + n.Latency(from, to)
+	return n.sim.AfterFunc(delay, deliverSend, sim.Payload{
+		Ctx: n, Aux: deliver, A: int64(from), B: int64(to), C: int64(size),
 	})
-	return true
+}
+
+// Broadcast schedules one-pass delivery of size bytes from one node to
+// every other online, reachable node, invoking deliver(to) at each receive
+// time. Copies serialize sequentially on the sender's uplink — the k-th
+// receiver waits k uplink transfers plus its own downlink and propagation
+// delay — which is what makes large blocks from low-bandwidth senders slow
+// to blanket the network. Copies to offline or partitioned peers are never
+// transmitted; a copy lost to the loss draw still consumed the sender's
+// uplink slot and traffic (it was transmitted, then dropped in flight), so
+// raising loss never speeds up the surviving copies. It returns the number
+// of deliveries scheduled.
+func (n *Net) Broadcast(from NodeID, size int, deliver func(to NodeID)) int {
+	if !n.valid(from) || deliver == nil || !n.nodes[from].up {
+		return 0
+	}
+	scheduled := 0
+	perCopy := serialization(n.nodes[from].upBps, size)
+	var uplink time.Duration
+	for i := range n.nodes {
+		to := NodeID(i)
+		if to == from || !n.nodes[to].up || n.partitioned(from, to) {
+			continue
+		}
+		uplink += perCopy
+		n.bytesSent[from] += int64(size)
+		n.msgsSent[from]++
+		if n.loss > 0 && n.rng.Bool(n.loss) {
+			continue
+		}
+		delay := uplink + serialization(n.nodes[to].downBps, size) + n.Latency(from, to)
+		if n.sim.AfterFunc(delay, deliverBroadcast, sim.Payload{
+			Ctx: n, Aux: deliver, A: int64(from), B: int64(to), C: int64(size),
+		}) {
+			scheduled++
+		}
+	}
+	return scheduled
+}
+
+// Transfer charges one message on the transport without scheduling
+// delivery: it applies Send's admission and billing rules and returns the
+// one-way delay the message would take. Synchronous substrates (e.g. the
+// off-chain payment router) use it to ride the same WAN model while
+// advancing their own notion of time. As with Send, a message to an
+// unreachable peer charges nothing, while one lost in flight bills the
+// sender but not the receiver.
+func (n *Net) Transfer(from, to NodeID, size int) (time.Duration, bool) {
+	if !n.valid(from) || !n.valid(to) {
+		return 0, false
+	}
+	if !n.reachable(from, to) {
+		return 0, false
+	}
+	n.bytesSent[from] += int64(size)
+	n.msgsSent[from]++
+	if n.loss > 0 && n.rng.Bool(n.loss) {
+		return 0, false
+	}
+	n.bytesRecvd[to] += int64(size)
+	return n.TransferTime(from, to, size) + n.Latency(from, to), true
 }
 
 // BytesSent returns the cumulative bytes sent by a node.

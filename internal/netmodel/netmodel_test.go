@@ -45,12 +45,29 @@ func TestJitterWithinBounds(t *testing.T) {
 func TestTransferTime(t *testing.T) {
 	_, n := newNet(t)
 	a := n.AddNode(Europe, 8e6) // 8 Mbit/s => 1 MB takes 1 s
-	if got := n.TransferTime(a, 1_000_000); got != time.Second {
+	b := n.AddNode(Europe, 0)
+	if got := n.TransferTime(a, b, 1_000_000); got != time.Second {
 		t.Fatalf("TransferTime = %v, want 1s", got)
 	}
-	b := n.AddNode(Europe, 0)
-	if got := n.TransferTime(b, 1_000_000); got != 0 {
+	if got := n.TransferTime(b, a, 1_000_000); got != 0 {
 		t.Fatalf("unconstrained TransferTime = %v, want 0", got)
+	}
+}
+
+func TestTransferTimeDownlink(t *testing.T) {
+	_, n := newNet(t)
+	a := n.AddNode(Europe, 8e6)           // 1 MB -> 1 s up
+	b := n.AddNodeLink(Europe, 0, 4e6)    // 1 MB -> 2 s down
+	c := n.AddNodeLink(Europe, 16e6, 1e6) // asymmetric: 0.5 s up, 8 s down
+	if got := n.TransferTime(a, b, 1_000_000); got != 3*time.Second {
+		t.Fatalf("uplink+downlink TransferTime = %v, want 3s", got)
+	}
+	if got := n.TransferTime(c, b, 1_000_000); got != 2500*time.Millisecond {
+		t.Fatalf("asymmetric TransferTime = %v, want 2.5s", got)
+	}
+	// Receiving at c is dominated by its slow downlink.
+	if got := n.TransferTime(b, c, 1_000_000); got != 8*time.Second {
+		t.Fatalf("slow-downlink TransferTime = %v, want 8s", got)
 	}
 }
 
@@ -115,6 +132,20 @@ func TestLoss(t *testing.T) {
 	if n.Send(a, b, 10, func() { t.Fatal("lossy link delivered") }) {
 		t.Fatal("Send should report drop under 100% loss")
 	}
+	// The lost message was transmitted before vanishing: the sender is
+	// billed, the receiver is not — same rule as Broadcast and Transfer.
+	if n.BytesSent(a) != 10 || n.MessagesSent(a) != 1 {
+		t.Fatalf("lost message billing: sent=%d msgs=%d, want 10/1", n.BytesSent(a), n.MessagesSent(a))
+	}
+	if n.BytesReceived(b) != 0 {
+		t.Fatal("lost message credited to the receiver")
+	}
+	if _, ok := n.Transfer(a, b, 10); ok {
+		t.Fatal("Transfer should report drop under 100% loss")
+	}
+	if n.BytesSent(a) != 20 || n.BytesReceived(b) != 0 {
+		t.Fatalf("lost Transfer billing: sent=%d recvd=%d, want 20/0", n.BytesSent(a), n.BytesReceived(b))
+	}
 	if err := s.Run(); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -153,6 +184,214 @@ func TestPartitionDropsInFlight(t *testing.T) {
 	}
 	if delivered {
 		t.Fatal("in-flight message crossed a partition formed before delivery")
+	}
+}
+
+// TestInFlightDroppedByLaterPartition pins the in-flight semantics: a
+// message sent BEFORE a partition (or a receiver outage) forms but due
+// AFTER it must be dropped at delivery time, not delivered through the
+// cut.
+func TestInFlightDroppedByLaterPartition(t *testing.T) {
+	s, n := newNet(t, WithJitter(0))
+	a := n.AddNode(Europe, 0)
+	b := n.AddNode(Asia, 0) // 80 ms one way
+	delivered := 0
+	if !n.Send(a, b, 10, func() { delivered++ }) {
+		t.Fatal("send before the partition should be admitted")
+	}
+	if err := n.SchedulePartitionWindow(10*time.Millisecond, 200*time.Millisecond,
+		map[NodeID]int{a: 0, b: 1}); err != nil {
+		t.Fatalf("SchedulePartitionWindow: %v", err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if delivered != 0 {
+		t.Fatal("message sent before the partition but due after it was delivered")
+	}
+
+	// Same shape with SetUp(to, false): sent while up, down at delivery.
+	delivered = 0
+	if !n.Send(a, b, 10, func() { delivered++ }) {
+		t.Fatal("send to an online node should be admitted")
+	}
+	s.After(time.Millisecond, func() { n.SetUp(b, false) })
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if delivered != 0 {
+		t.Fatal("message delivered to a receiver that went down mid-flight")
+	}
+}
+
+// TestPartitionWindowNoRetroactiveDelivery pins the other half of the
+// window contract: a message sent DURING a partition window is dropped at
+// send time and must NOT surface after Heal; only messages sent after the
+// window delivers.
+func TestPartitionWindowNoRetroactiveDelivery(t *testing.T) {
+	s, n := newNet(t, WithJitter(0))
+	a := n.AddNode(Europe, 0)
+	b := n.AddNode(Asia, 0)
+	if err := n.SchedulePartitionWindow(10*time.Millisecond, 50*time.Millisecond,
+		map[NodeID]int{a: 0, b: 1}); err != nil {
+		t.Fatalf("SchedulePartitionWindow: %v", err)
+	}
+	var deliveredAt []time.Duration
+	deliver := func() { deliveredAt = append(deliveredAt, s.Now()) }
+	s.At(20*time.Millisecond, func() {
+		if n.Send(a, b, 10, deliver) {
+			t.Error("send during the partition window should be dropped at send time")
+		}
+	})
+	s.At(60*time.Millisecond, func() {
+		if !n.Send(a, b, 10, deliver) {
+			t.Error("send after Heal should be admitted")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(deliveredAt) != 1 {
+		t.Fatalf("deliveries = %d, want exactly the post-heal send", len(deliveredAt))
+	}
+	if deliveredAt[0] != 140*time.Millisecond { // sent at 60ms + 80ms EU->AS
+		t.Fatalf("post-heal delivery at %v, want 140ms", deliveredAt[0])
+	}
+}
+
+func TestLossWindowRestoresPreviousRate(t *testing.T) {
+	s, n := newNet(t, WithJitter(0))
+	a := n.AddNode(Europe, 0)
+	b := n.AddNode(Europe, 0)
+	if err := n.ScheduleLossWindow(10*time.Millisecond, 20*time.Millisecond, 1); err != nil {
+		t.Fatalf("ScheduleLossWindow: %v", err)
+	}
+	if err := n.ScheduleLossWindow(5*time.Millisecond, 4*time.Millisecond, 0.5); err == nil {
+		t.Fatal("inverted window accepted")
+	}
+	if err := n.ScheduleLossWindow(30*time.Millisecond, 40*time.Millisecond, 1.5); err == nil {
+		t.Fatal("out-of-range loss accepted")
+	}
+	results := make(map[time.Duration]bool)
+	probe := func(at time.Duration) {
+		s.At(at, func() { results[at] = n.Send(a, b, 1, func() {}) })
+	}
+	probe(5 * time.Millisecond)  // before the window
+	probe(15 * time.Millisecond) // inside: 100% loss
+	probe(25 * time.Millisecond) // after: restored to lossless
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !results[5*time.Millisecond] || results[15*time.Millisecond] || !results[25*time.Millisecond] {
+		t.Fatalf("loss window admission = %v, want open/closed/open", results)
+	}
+	if n.Loss() != 0 {
+		t.Fatalf("loss after window = %g, want 0", n.Loss())
+	}
+}
+
+// TestOverlappingWindowsRejected pins the restore-at-end contract: two
+// windows over the same state cannot interleave, because the second's
+// snapshot would reinstate the first's mid-window value after both close.
+func TestOverlappingWindowsRejected(t *testing.T) {
+	s, n := newNet(t)
+	a := n.AddNode(Europe, 0)
+	b := n.AddNode(Europe, 0)
+	if err := n.ScheduleLossWindow(10*time.Millisecond, 30*time.Millisecond, 1); err != nil {
+		t.Fatalf("first loss window: %v", err)
+	}
+	if err := n.ScheduleLossWindow(20*time.Millisecond, 40*time.Millisecond, 0.5); err == nil {
+		t.Fatal("overlapping loss window accepted")
+	}
+	if err := n.ScheduleLossWindow(30*time.Millisecond, 40*time.Millisecond, 0.5); err != nil {
+		t.Fatalf("adjacent loss window rejected: %v", err)
+	}
+	groups := map[NodeID]int{a: 0, b: 1}
+	if err := n.SchedulePartitionWindow(10*time.Millisecond, 30*time.Millisecond, groups); err != nil {
+		t.Fatalf("first partition window: %v", err)
+	}
+	if err := n.SchedulePartitionWindow(25*time.Millisecond, 50*time.Millisecond, groups); err == nil {
+		t.Fatal("overlapping partition window accepted")
+	}
+	if err := n.ScheduleOutageWindow(10*time.Millisecond, 30*time.Millisecond, a); err != nil {
+		t.Fatalf("first outage window: %v", err)
+	}
+	if err := n.ScheduleOutageWindow(20*time.Millisecond, 40*time.Millisecond, a); err == nil {
+		t.Fatal("overlapping outage window for one node accepted")
+	}
+	// A different node's outage may overlap freely.
+	if err := n.ScheduleOutageWindow(20*time.Millisecond, 40*time.Millisecond, b); err != nil {
+		t.Fatalf("other-node outage window rejected: %v", err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if n.Loss() != 0 {
+		t.Fatalf("loss after all windows = %g, want 0", n.Loss())
+	}
+	if !n.IsUp(a) || !n.IsUp(b) {
+		t.Fatal("nodes not restored after outage windows")
+	}
+}
+
+// TestAdjacentWindowsAnyScheduleOrder pins the owner rule: when window A's
+// end and window B's start land on the same instant, B's condition wins no
+// matter which order the windows were scheduled in.
+func TestAdjacentWindowsAnyScheduleOrder(t *testing.T) {
+	for _, bFirst := range []bool{false, true} {
+		s, n := newNet(t, WithJitter(0), WithLoss(0.01))
+		a := n.AddNode(Europe, 0)
+		b := n.AddNode(Europe, 0)
+		_, _ = a, b
+		schedA := func() {
+			if err := n.ScheduleLossWindow(10*time.Millisecond, 30*time.Millisecond, 1); err != nil {
+				t.Fatalf("window A: %v", err)
+			}
+		}
+		schedB := func() {
+			if err := n.ScheduleLossWindow(30*time.Millisecond, 40*time.Millisecond, 0.5); err != nil {
+				t.Fatalf("window B: %v", err)
+			}
+		}
+		if bFirst {
+			schedB()
+			schedA()
+		} else {
+			schedA()
+			schedB()
+		}
+		var atBoundary, after float64
+		s.At(31*time.Millisecond, func() { atBoundary = n.Loss() })
+		s.At(41*time.Millisecond, func() { after = n.Loss() })
+		if err := s.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if atBoundary != 0.5 {
+			t.Fatalf("bFirst=%v: loss inside window B = %g, want 0.5 (A's end must not clobber B)", bFirst, atBoundary)
+		}
+		if after != 0.01 {
+			t.Fatalf("bFirst=%v: loss after both windows = %g, want ambient 0.01", bFirst, after)
+		}
+	}
+}
+
+func TestOutageWindow(t *testing.T) {
+	s, n := newNet(t, WithJitter(0))
+	b := n.AddNode(Europe, 0)
+	if err := n.ScheduleOutageWindow(10*time.Millisecond, 20*time.Millisecond, b); err != nil {
+		t.Fatalf("ScheduleOutageWindow: %v", err)
+	}
+	if err := n.ScheduleOutageWindow(10*time.Millisecond, 20*time.Millisecond, NodeID(99)); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+	up := make(map[time.Duration]bool)
+	s.At(15*time.Millisecond, func() { up[15*time.Millisecond] = n.IsUp(b) })
+	s.At(25*time.Millisecond, func() { up[25*time.Millisecond] = n.IsUp(b) })
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if up[15*time.Millisecond] || !up[25*time.Millisecond] {
+		t.Fatalf("outage window up-state = %v, want down then up", up)
 	}
 }
 
@@ -200,5 +439,89 @@ func TestRegionString(t *testing.T) {
 		if got := tt.r.String(); got != tt.want {
 			t.Errorf("String(%d) = %q, want %q", int(tt.r), got, tt.want)
 		}
+	}
+}
+
+// TestNodeAddedDuringPartition pins that attaching a node while a
+// partition is active neither panics nor isolates it from group 0.
+func TestNodeAddedDuringPartition(t *testing.T) {
+	s, n := newNet(t, WithJitter(0))
+	a := n.AddNode(Europe, 0)
+	b := n.AddNode(Asia, 0)
+	n.Partition(map[NodeID]int{a: 0, b: 1})
+	c := n.AddNode(Europe, 0)
+	delivered := false
+	if !n.Send(a, c, 10, func() { delivered = true }) {
+		t.Fatal("late-attached node should join group 0")
+	}
+	if n.Send(b, c, 10, func() {}) {
+		t.Fatal("group-1 node reached the group-0 newcomer")
+	}
+	if got := n.Broadcast(a, 10, func(NodeID) {}); got != 1 {
+		t.Fatalf("broadcast reached %d nodes, want 1 (the newcomer)", got)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !delivered {
+		t.Fatal("message to late-attached node not delivered")
+	}
+}
+
+// TestWindowsRestoreAmbientState pins that window ends restore the
+// Partition/SetUp state the experiment holds, not a hard-coded
+// "healed/up": a manually-downed node stays down past an outage window,
+// and a manual partition survives a partition window's end.
+func TestWindowsRestoreAmbientState(t *testing.T) {
+	s, n := newNet(t, WithJitter(0))
+	a := n.AddNode(Europe, 0)
+	b := n.AddNode(Europe, 0)
+	c := n.AddNode(Asia, 0)
+	if err := n.ScheduleOutageWindow(10*time.Millisecond, 20*time.Millisecond, b); err != nil {
+		t.Fatalf("ScheduleOutageWindow: %v", err)
+	}
+	// Ambient: b is deliberately down before the window opens.
+	n.SetUp(b, false)
+	if err := n.SchedulePartitionWindow(10*time.Millisecond, 20*time.Millisecond,
+		map[NodeID]int{a: 0, c: 1}); err != nil {
+		t.Fatalf("SchedulePartitionWindow: %v", err)
+	}
+	// Ambient: a manual partition isolating c, set during the window.
+	s.At(15*time.Millisecond, func() { n.Partition(map[NodeID]int{a: 0, c: 2}) })
+	if err := s.RunUntil(30 * time.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if n.IsUp(b) {
+		t.Fatal("outage window end resurrected a manually-downed node")
+	}
+	if !n.partitioned(a, c) {
+		t.Fatal("partition window end erased the ambient partition")
+	}
+	// Lifting the ambient state works once no window is active.
+	n.SetUp(b, true)
+	n.Heal()
+	if !n.IsUp(b) || n.partitioned(a, c) {
+		t.Fatal("ambient state not restored by SetUp/Heal after windows")
+	}
+}
+
+// TestPartitionWindowSnapshotsGroups pins that the groups map is expanded
+// at schedule time: callers may reuse or mutate their map afterwards.
+func TestPartitionWindowSnapshotsGroups(t *testing.T) {
+	s, n := newNet(t, WithJitter(0))
+	a := n.AddNode(Europe, 0)
+	b := n.AddNode(Asia, 0)
+	groups := map[NodeID]int{a: 0, b: 1}
+	if err := n.SchedulePartitionWindow(10*time.Millisecond, 20*time.Millisecond, groups); err != nil {
+		t.Fatalf("SchedulePartitionWindow: %v", err)
+	}
+	delete(groups, b) // caller reuses the map before the window opens
+	var cut bool
+	s.At(15*time.Millisecond, func() { cut = n.partitioned(a, b) })
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !cut {
+		t.Fatal("window applied the mutated map instead of the scheduled snapshot")
 	}
 }

@@ -14,8 +14,10 @@ import (
 	"container/heap"
 	"errors"
 	"math"
+	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/netmodel"
 	"repro/internal/sim"
 )
 
@@ -73,6 +75,84 @@ type Network struct {
 	failed   int
 	// routedVia counts payments forwarded through each node (hub load).
 	routedVia []int64
+
+	// WAN transport (AttachTransport): HTLC messages are charged on the
+	// shared netmodel and end-to-end payment latency is sampled.
+	net     *netmodel.Net
+	addrs   []netmodel.NodeID
+	latency metrics.Sample
+}
+
+// htlcMsgSize is the modelled wire size of one HTLC message (an
+// update_add_htlc with its routing onion is ~1.4 KB in Lightning).
+const htlcMsgSize = 1400
+
+// AttachTransport routes payment traffic over the shared WAN transport:
+// node i maps to addrs[i]. Subsequent Pay calls charge each hop's forward
+// and settle HTLC messages on the Net (traffic accounting, loss and
+// partitions included) and record the resulting end-to-end latency,
+// retrievable via PaymentLatencies.
+func (nw *Network) AttachTransport(nm *netmodel.Net, addrs []netmodel.NodeID) error {
+	if nm == nil {
+		return errors.New("offchain: nil transport")
+	}
+	if len(addrs) != nw.n {
+		return errors.New("offchain: need one address per node")
+	}
+	seen := make(map[netmodel.NodeID]bool, len(addrs))
+	for _, a := range addrs {
+		if a < 0 || int(a) >= nm.Size() {
+			return errors.New("offchain: address not attached to the transport")
+		}
+		if seen[a] {
+			return errors.New("offchain: duplicate node address")
+		}
+		seen[a] = true
+	}
+	nw.net = nm
+	nw.addrs = append([]netmodel.NodeID(nil), addrs...)
+	return nil
+}
+
+// PaymentLatencies returns the sample of end-to-end payment latencies in
+// seconds, populated only when a transport is attached.
+func (nw *Network) PaymentLatencies() *metrics.Sample { return &nw.latency }
+
+// htlcRetryCap bounds per-message retransmissions when the transport drops
+// an HTLC message; payments whose messages never get through within the
+// cap are excluded from the latency sample rather than recorded with a
+// misleadingly small delay.
+const htlcRetryCap = 10
+
+// chargeHops accounts a completed payment's HTLC traffic on the transport:
+// a forward message per hop along the path and a settle message per hop
+// back, the sum being the payment's end-to-end latency. A message the
+// transport drops (loss) is retried after the shared retry delay — channel
+// state is already final by the time this runs; Lightning retransmits the
+// message, it does not unwind the HTLC — so a lossier WAN makes payments
+// slower, never faster. If a message exhausts the retry cap (a partition,
+// or extreme loss), no latency sample is recorded for the payment.
+func (nw *Network) chargeHops(src int, path []int) {
+	var total time.Duration
+	msg := func(a, b int) bool {
+		for try := 0; try < htlcRetryCap; try++ {
+			if d, ok := nw.net.Transfer(nw.addrs[a], nw.addrs[b], htlcMsgSize); ok {
+				total += d
+				return true
+			}
+			total += netmodel.DefaultRetryDelay
+		}
+		return false
+	}
+	cur := src
+	for _, chIdx := range path {
+		next := nw.channels[chIdx].other(cur)
+		if !msg(cur, next) || !msg(next, cur) {
+			return
+		}
+		cur = next
+	}
+	nw.latency.Add(total.Seconds())
 }
 
 // NewNetwork creates an empty network over n nodes.
@@ -180,6 +260,9 @@ func (nw *Network) Pay(src, dst int, amt float64) bool {
 		cur = next
 	}
 	nw.payments++
+	if nw.net != nil {
+		nw.chargeHops(src, path)
+	}
 	return true
 }
 

@@ -3,6 +3,7 @@ package offchain
 import (
 	"testing"
 
+	"repro/internal/netmodel"
 	"repro/internal/sim"
 )
 
@@ -194,5 +195,134 @@ func TestHubTopologyValidation(t *testing.T) {
 	}
 	if err := BuildMeshTopology(sim.NewRNG(1), nw, 1, 10); err == nil {
 		t.Fatal("degree < 2 should error")
+	}
+}
+
+func TestAttachTransportLatencyAccounting(t *testing.T) {
+	s := sim.New(sim.WithSeed(9))
+	nm := netmodel.New(s, netmodel.WithJitter(0))
+	nw, err := NewNetwork(3)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	addrs := []netmodel.NodeID{
+		nm.AddNode(netmodel.NorthAmerica, 0), // 45ms to EU
+		nm.AddNode(netmodel.Europe, 0),       // 80ms to AS
+		nm.AddNode(netmodel.Asia, 0),
+	}
+	if err := nw.AttachTransport(nil, addrs); err == nil {
+		t.Fatal("nil transport accepted")
+	}
+	if err := nw.AttachTransport(nm, addrs[:2]); err == nil {
+		t.Fatal("short address list accepted")
+	}
+	if err := nw.AttachTransport(nm, addrs); err != nil {
+		t.Fatalf("AttachTransport: %v", err)
+	}
+	// Line topology 0-1-2 forces the NA->EU->AS route.
+	if _, err := nw.OpenChannel(0, 1, 100); err != nil {
+		t.Fatalf("OpenChannel: %v", err)
+	}
+	if _, err := nw.OpenChannel(1, 2, 100); err != nil {
+		t.Fatalf("OpenChannel: %v", err)
+	}
+	if !nw.Pay(0, 2, 5) {
+		t.Fatal("payment failed")
+	}
+	lat := nw.PaymentLatencies()
+	if lat.Count() != 1 {
+		t.Fatalf("latency samples = %d, want 1", lat.Count())
+	}
+	// Two hops, forward + settle each: 2*(45ms + 80ms) = 250ms.
+	if got := lat.Mean(); got < 0.249 || got > 0.251 {
+		t.Fatalf("payment latency = %.3fs, want 0.250s", got)
+	}
+	if nm.TotalBytesSent() != 4*1400 {
+		t.Fatalf("HTLC traffic = %d bytes, want 4 messages x 1400", nm.TotalBytesSent())
+	}
+}
+
+func TestPayWithoutTransportSamplesNothing(t *testing.T) {
+	nw, err := NewNetwork(2)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	if _, err := nw.OpenChannel(0, 1, 100); err != nil {
+		t.Fatalf("OpenChannel: %v", err)
+	}
+	if !nw.Pay(0, 1, 1) {
+		t.Fatal("payment failed")
+	}
+	if nw.PaymentLatencies().Count() != 0 {
+		t.Fatal("latency sampled without a transport attached")
+	}
+}
+
+func TestLossyTransportNeverSpeedsPayments(t *testing.T) {
+	measure := func(loss float64) (count int, mean float64) {
+		s := sim.New(sim.WithSeed(3))
+		nm := netmodel.New(s, netmodel.WithJitter(0), netmodel.WithLoss(loss))
+		nw, err := NewNetwork(3)
+		if err != nil {
+			t.Fatalf("NewNetwork: %v", err)
+		}
+		addrs := []netmodel.NodeID{
+			nm.AddNode(netmodel.NorthAmerica, 0),
+			nm.AddNode(netmodel.Europe, 0),
+			nm.AddNode(netmodel.Asia, 0),
+		}
+		if err := nw.AttachTransport(nm, addrs); err != nil {
+			t.Fatalf("AttachTransport: %v", err)
+		}
+		for _, pair := range [][2]int{{0, 1}, {1, 2}} {
+			if _, err := nw.OpenChannel(pair[0], pair[1], 1000); err != nil {
+				t.Fatalf("OpenChannel: %v", err)
+			}
+		}
+		for i := 0; i < 30; i++ {
+			if !nw.Pay(0, 2, 1) {
+				t.Fatal("payment failed")
+			}
+		}
+		lat := nw.PaymentLatencies()
+		return lat.Count(), lat.Mean()
+	}
+	losslessN, losslessMean := measure(0)
+	if losslessN != 30 {
+		t.Fatalf("lossless samples = %d, want 30", losslessN)
+	}
+	lossyN, lossyMean := measure(0.3)
+	if lossyN == 0 {
+		t.Fatal("moderate loss should still complete payments within the retry cap")
+	}
+	// Retransmission penalties mean a lossier WAN is never faster.
+	if lossyMean <= losslessMean {
+		t.Fatalf("loss sped up payments: %.3fs <= %.3fs", lossyMean, losslessMean)
+	}
+	// Total loss: every message exhausts the retry cap and no sample is
+	// recorded, rather than a misleading near-zero latency.
+	blackholeN, _ := measure(1)
+	if blackholeN != 0 {
+		t.Fatalf("samples under 100%% loss = %d, want 0", blackholeN)
+	}
+}
+
+func TestAttachTransportRejectsForeignAddrs(t *testing.T) {
+	s := sim.New(sim.WithSeed(1))
+	nm := netmodel.New(s)
+	nw, err := NewNetwork(2)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	a := nm.AddNode(netmodel.Europe, 0)
+	if err := nw.AttachTransport(nm, []netmodel.NodeID{a, netmodel.NodeID(7)}); err == nil {
+		t.Fatal("unattached address accepted")
+	}
+	if err := nw.AttachTransport(nm, []netmodel.NodeID{a, a}); err == nil {
+		t.Fatal("duplicate address accepted")
+	}
+	b := nm.AddNode(netmodel.Europe, 0)
+	if err := nw.AttachTransport(nm, []netmodel.NodeID{a, b}); err != nil {
+		t.Fatalf("valid attach failed: %v", err)
 	}
 }

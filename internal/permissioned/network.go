@@ -67,6 +67,10 @@ type Config struct {
 	OrdererNodes int
 	// OrdererRegion hosts the ordering service.
 	OrdererRegion netmodel.Region
+	// RetryDelay is the backoff before resubmitting an envelope when the
+	// ordering service has no leader or a full queue (default: the shared
+	// transport retry delay, netmodel.DefaultRetryDelay).
+	RetryDelay time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +85,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.OrdererRegion == 0 {
 		c.OrdererRegion = netmodel.Europe
+	}
+	if c.RetryDelay <= 0 {
+		c.RetryDelay = netmodel.DefaultRetryDelay
 	}
 	return c
 }
@@ -360,21 +367,21 @@ func (nw *Network) sendToOrderer(corg *Org, env *Envelope, done func(TxResult)) 
 	leader := nw.orderer.Leader()
 	if leader == nil {
 		// No leader yet (election in progress): retry shortly.
-		nw.sim.After(250*time.Millisecond, func() { nw.sendToOrderer(corg, env, done) })
+		nw.sim.After(nw.cfg.RetryDelay, func() { nw.sendToOrderer(corg, env, done) })
 		return
 	}
 	nw.pending[env.ID] = &pendingTx{env: env, done: done}
 	// Model the client->orderer hop, then consensus inside the cluster.
 	nw.net.Send(corg.Peer, nw.ordererAddr(), env.Size(), func() {
 		if !nw.orderer.Submit(raft.Request{ID: env.ID, SubmittedAt: env.SubmittedAt}) {
-			nw.sim.After(250*time.Millisecond, func() { nw.resubmit(env.ID) })
+			nw.sim.After(nw.cfg.RetryDelay, func() { nw.resubmit(env.ID) })
 		}
 	})
 }
 
 func (nw *Network) resubmit(envID int) {
 	if !nw.orderer.Submit(raft.Request{ID: envID, SubmittedAt: nw.sim.Now()}) {
-		nw.sim.After(250*time.Millisecond, func() { nw.resubmit(envID) })
+		nw.sim.After(nw.cfg.RetryDelay, func() { nw.resubmit(envID) })
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/ledger"
+	"repro/internal/netmodel"
 	"repro/internal/sim"
 )
 
@@ -101,6 +102,12 @@ type Network struct {
 	workCache  map[ledger.Hash]float64 // block -> cumulative work
 	found      int
 
+	// WAN-backed relay (NewNetworkOverNet); nil means the abstract
+	// Params.Propagation draw is used instead.
+	net    *netmodel.Net
+	addrs  []netmodel.NodeID
+	byAddr map[netmodel.NodeID]*Miner
+
 	// onBlock, when set, observes every block found (before propagation).
 	onBlock func(b *ledger.Block, miner *Miner)
 }
@@ -140,6 +147,40 @@ func NewNetwork(s *sim.Sim, params Params, hashrates []float64) (*Network, error
 	}
 	if nw.totalHash <= 0 {
 		return nil, errors.New("pow: zero total hashrate")
+	}
+	return nw, nil
+}
+
+// NewNetworkOverNet creates a mining network whose block relay rides the
+// shared WAN transport instead of the abstract Propagation draw: addrs[i]
+// is miner i's address on nm, and each found block is broadcast from the
+// finder over the transport, so fork and stale-block rates respond to
+// regional miner placement, access bandwidth, loss, and partition windows.
+// The Net must be dedicated to the miner population — Broadcast blankets
+// every node attached to it, so addrs must cover the whole Net (enforced
+// here; nodes attached later are ignored by the relay).
+func NewNetworkOverNet(s *sim.Sim, nm *netmodel.Net, addrs []netmodel.NodeID, params Params, hashrates []float64) (*Network, error) {
+	if nm == nil {
+		return nil, errors.New("pow: nil transport")
+	}
+	if len(addrs) != len(hashrates) {
+		return nil, errors.New("pow: need one address per miner")
+	}
+	if len(addrs) != nm.Size() {
+		return nil, errors.New("pow: transport must be dedicated to the miners (one address per attached node)")
+	}
+	nw, err := NewNetwork(s, params, hashrates)
+	if err != nil {
+		return nil, err
+	}
+	nw.net = nm
+	nw.addrs = append([]netmodel.NodeID(nil), addrs...)
+	nw.byAddr = make(map[netmodel.NodeID]*Miner, len(addrs))
+	for i, addr := range addrs {
+		if _, dup := nw.byAddr[addr]; dup {
+			return nil, errors.New("pow: duplicate miner address")
+		}
+		nw.byAddr[addr] = nw.miners[i]
 	}
 	return nw, nil
 }
@@ -234,18 +275,32 @@ func (nw *Network) blockFound() {
 	if nw.onBlock != nil {
 		nw.onBlock(b, miner)
 	}
-	// Propagate to all other miners.
-	for _, m := range nw.miners {
-		if m == miner {
-			continue
-		}
-		m := m
-		delay := nw.params.Propagation(nw.rng, nw.params.BlockSize)
-		nw.sim.After(delay, func() {
+	// Propagate to all other miners: over the WAN transport when attached
+	// (partitions, loss and bandwidth apply), otherwise with the abstract
+	// per-receiver Propagation draw.
+	if nw.net != nil {
+		nw.net.Broadcast(nw.addrs[miner.ID], nw.params.BlockSize, func(to netmodel.NodeID) {
+			m := nw.byAddr[to]
+			if m == nil {
+				return // a non-miner node attached after construction
+			}
 			if work > m.tipWork {
 				m.tipHash, m.tipWork = h, work
 			}
 		})
+	} else {
+		for _, m := range nw.miners {
+			if m == miner {
+				continue
+			}
+			m := m
+			delay := nw.params.Propagation(nw.rng, nw.params.BlockSize)
+			nw.sim.After(delay, func() {
+				if work > m.tipWork {
+					m.tipHash, m.tipWork = h, work
+				}
+			})
+		}
 	}
 	nw.scheduleNext()
 }

@@ -13,6 +13,12 @@
 // count, and a stopped Ticker's closure is collectable at once. Removal
 // preserves (time, sequence) order of the remaining events, so canceling
 // never perturbs determinism.
+//
+// For per-message hot paths (the netmodel transport delivers millions of
+// events per run) the kernel offers a pooled fast path: AtFunc/AfterFunc
+// schedule a shared Handler with an inline Payload instead of a fresh
+// closure, drawing the Event from a free list and recycling it at fire
+// time, so steady-state scheduling allocates nothing.
 package sim
 
 import (
@@ -29,14 +35,44 @@ var ErrStopped = errors.New("sim: stopped")
 
 // Event is a scheduled callback. It is returned by the scheduling methods so
 // callers can cancel it before it fires.
+//
+// Events come in two flavours. Closure events (At/After/Every) carry a fresh
+// fn closure and are handed back to the caller for cancellation. Handler
+// events (AtFunc/AfterFunc) carry a shared Handler plus an inline Payload
+// instead of a closure; they are drawn from a per-Sim free list, recycled
+// the moment they fire, and deliberately not returned to callers — a
+// recycled pointer must never be cancelable from stale references.
 type Event struct {
 	at       time.Duration
 	seq      uint64
 	fn       func()
+	h        Handler
+	p        Payload
 	q        *eventQueue
 	index    int // position in the heap, -1 once popped or canceled
 	canceled bool
+	nextFree *Event // free-list link for recycled handler events
 }
+
+// Payload is the inline argument block of a handler event. Ctx and Aux hold
+// pointer-shaped values (pointers, funcs, maps, channels), which convert to
+// interface values without allocating; A, B and C carry scalar operands
+// (ids, sizes, or float64 bits via math.Float64bits). Together they let a
+// hot path schedule delivery work with zero per-event allocations.
+type Payload struct {
+	// Ctx is the scheduling subsystem's context (e.g. a *netmodel.Net).
+	Ctx any
+	// Aux is a secondary reference, typically a caller-supplied callback.
+	Aux any
+	// A, B, C are scalar operands whose meaning the Handler defines.
+	A, B, C int64
+}
+
+// Handler consumes a handler event's payload at fire time. Handlers should
+// be package-level functions (or otherwise long-lived func values): the
+// whole point of the handler path is that scheduling one does not allocate
+// a closure per event.
+type Handler func(p Payload)
 
 // Cancel prevents the event from firing. The event is removed from the
 // schedule eagerly and its callback released, so canceling is O(log n) now
@@ -70,6 +106,7 @@ type Sim struct {
 	stopped bool
 	seed    int64
 	streams map[string]*RNG
+	free    *Event // recycled handler events (AtFunc/AfterFunc)
 }
 
 // Option configures a Sim created by New.
@@ -128,6 +165,50 @@ func (s *Sim) After(d time.Duration, fn func()) *Event {
 		d = 0
 	}
 	return s.At(s.now+d, fn)
+}
+
+// AtFunc schedules h to run with payload p at absolute virtual time t. It is
+// the allocation-free counterpart of At: the event comes from a per-Sim free
+// list and is recycled the moment it fires, so a steady-state schedule/fire
+// loop performs zero allocations. Because the event is recycled, AtFunc
+// returns no handle and the event cannot be canceled; use At when you need
+// cancellation. Scheduling in the past or with a nil handler is a no-op
+// returning false.
+func (s *Sim) AtFunc(t time.Duration, h Handler, p Payload) bool {
+	if t < s.now || h == nil {
+		return false
+	}
+	ev := s.takeEvent()
+	ev.at, ev.seq, ev.h, ev.p, ev.q = t, s.seq, h, p, &s.queue
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return true
+}
+
+// AfterFunc schedules h to run with payload p after delay d — the pooled,
+// closure-free variant of After. Negative delays clamp to zero. See AtFunc
+// for the recycling contract.
+func (s *Sim) AfterFunc(d time.Duration, h Handler, p Payload) bool {
+	if d < 0 {
+		d = 0
+	}
+	return s.AtFunc(s.now+d, h, p)
+}
+
+// takeEvent pops a recycled event or allocates a fresh one.
+func (s *Sim) takeEvent() *Event {
+	if ev := s.free; ev != nil {
+		s.free = ev.nextFree
+		ev.nextFree = nil
+		return ev
+	}
+	return &Event{}
+}
+
+// releaseEvent clears a fired handler event and pushes it on the free list.
+func (s *Sim) releaseEvent(ev *Event) {
+	*ev = Event{index: -1, nextFree: s.free}
+	s.free = ev
 }
 
 // Ticker repeatedly schedules a callback at a fixed period until stopped.
@@ -216,7 +297,15 @@ func (s *Sim) RunUntil(horizon time.Duration) error {
 		// is always live.
 		s.now = next.at
 		s.fired++
-		next.fn()
+		if next.h != nil {
+			// Handler event: recycle before invoking so the handler's own
+			// scheduling can reuse the slot — the steady-state fast path.
+			h, p := next.h, next.p
+			s.releaseEvent(next)
+			h(p)
+		} else {
+			next.fn()
+		}
 		if s.stopped {
 			s.stopped = false
 			return ErrStopped
