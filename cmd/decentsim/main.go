@@ -13,6 +13,8 @@
 //	decentsim sweep -seeds 1..5 -set e03.lookups=100,200 E03
 //	decentsim sweep -seeds 1..3 -set e06.shards=16,64,256 -set e06.crossshard=0.1,0.5 E06
 //	decentsim rep -n 10 E06            # replicate over seeds 1..n, aggregate
+//	decentsim report -seeds 1..3 all   # render the reproduction report tree
+//	decentsim report -out docs/report -parallel 8 E06 E08
 //
 // Every experiment E01–E19 registers sweepable knobs; -set accepts any
 // name listed in DESIGN.md's knob table (unknown names are rejected with
@@ -56,6 +58,7 @@ type options struct {
 	seeds    string
 	scales   string
 	reps     int
+	out      string
 	set      knobFlags
 }
 
@@ -95,11 +98,12 @@ func (o *options) register(fs *flag.FlagSet) {
 	fs.StringVar(&o.seeds, "seeds", o.seeds, "sweep/rep seed list, e.g. 1..10 or 1,3,9 (default: sweep 1..5, rep 1..n)")
 	fs.StringVar(&o.scales, "scales", o.scales, "sweep scale list, e.g. 0.25,0.5,1 (default: -scale)")
 	fs.IntVar(&o.reps, "n", o.reps, "rep: replication count, seeds 1..n (conflicts with -seeds)")
+	fs.StringVar(&o.out, "out", o.out, "report: output directory for the generated report tree")
 	fs.Var(&o.set, "set", "sweep knob values, e.g. -set e03.lookups=100,200 (repeatable; every experiment has knobs — see DESIGN.md)")
 }
 
 func run(args []string, out io.Writer) error {
-	opts := options{seed: 1, scale: 1, reps: 10}
+	opts := options{seed: 1, scale: 1, reps: 10, out: "report"}
 	global := flag.NewFlagSet("decentsim", flag.ContinueOnError)
 	opts.register(global)
 	if err := global.Parse(args); err != nil {
@@ -107,7 +111,7 @@ func run(args []string, out io.Writer) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return errors.New("expected a command: list | run <ids|all> | sweep <ids|all> | rep <ids|all>")
+		return errors.New("expected a command: list | run <ids|all> | sweep <ids|all> | rep <ids|all> | report <ids|all>")
 	}
 	cmd, rest := rest[0], rest[1:]
 	// Subcommand flags: re-register over the already-parsed values so
@@ -129,14 +133,25 @@ func run(args []string, out io.Writer) error {
 			"seeds":  "use the sweep or rep subcommand for multi-seed runs",
 			"scales": "use the sweep subcommand to cross scales",
 			"n":      "use the rep subcommand for replications",
+			"out":    "only the report subcommand writes a directory tree",
 		},
 		"sweep": {
 			"seed": "use -seeds to choose sweep seeds",
 			"n":    "use -seeds, or the rep subcommand",
+			"out":  "only the report subcommand writes a directory tree",
 		},
 		"rep": {
 			"seed":   "use -seeds or -n to choose replication seeds",
 			"scales": "rep replicates one scenario; use sweep to cross scales",
+			"out":    "only the report subcommand writes a directory tree",
+		},
+		"report": {
+			"seed":   "use -seeds to choose the replication seeds",
+			"n":      "use -seeds to choose the replication seeds",
+			"scales": "the report runs one scale; use -scale",
+			"csv":    "the report is a markdown/SVG/JSON directory tree",
+			"json":   "the report is a markdown/SVG/JSON directory tree",
+			"set":    "the report documents baseline runs; use sweep for knob grids",
 		},
 	}
 	if cmd == "list" && len(provided) > 0 {
@@ -185,8 +200,10 @@ func run(args []string, out io.Writer) error {
 		return sweepCmd(out, reg, &opts, ids, false)
 	case "rep":
 		return sweepCmd(out, reg, &opts, ids, true)
+	case "report":
+		return reportCmd(out, reg, &opts, ids)
 	default:
-		return fmt.Errorf("unknown command %q (want list | run | sweep | rep)", cmd)
+		return fmt.Errorf("unknown command %q (want list | run | sweep | rep | report)", cmd)
 	}
 }
 
@@ -330,6 +347,41 @@ func rejectMultiValueKnobs(cmd string, params map[string][]float64) error {
 		if vals := params[name]; len(vals) > 1 {
 			return fmt.Errorf("%s: knob %s has %d values; use the sweep subcommand to cross knob values", cmd, name, len(vals))
 		}
+	}
+	return nil
+}
+
+// reportCmd generates the reproduction report: every selected experiment
+// replicated across the seed set on the worker pool, rendered as a
+// deterministic document tree (REPORT.md traceability matrix, one page
+// per experiment, SVG figures, hash manifest) under -out. Shape-check
+// outcomes live in the report; only run errors fail the command.
+func reportCmd(out io.Writer, reg *decent.Registry, opts *options, ids []string) error {
+	ids, err := expandIDs(reg, ids)
+	if err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	ropts := decent.ReportOptions{
+		IDs:     ids,
+		Scale:   opts.scale,
+		Workers: opts.parallel,
+	}
+	if opts.seeds != "" {
+		if ropts.Seeds, err = decent.ParseSeeds(opts.seeds); err != nil {
+			return err
+		}
+	}
+	tree, err := decent.GenerateReport(ropts)
+	if err != nil {
+		return err
+	}
+	if err := tree.WriteDir(opts.out); err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	fmt.Fprintf(out, "report: wrote %d files to %s (%d/%d scenarios reproduced)\n",
+		len(tree.Files), opts.out, tree.Reproduced, tree.Groups)
+	if tree.RunErrors > 0 {
+		return fmt.Errorf("report: %d run(s) errored (see the generated pages)", tree.RunErrors)
 	}
 	return nil
 }

@@ -3,6 +3,9 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io/fs"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -348,5 +351,100 @@ func TestSweepJSONDeterministicAcrossParallelism(t *testing.T) {
 	}
 	if len(report.Groups[0].Metrics) == 0 {
 		t.Fatal("report has no aggregated metrics")
+	}
+}
+
+func TestReportRejectsInapplicableFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"report", "-seed", "3", "E01"},
+		{"report", "-n", "5", "E01"},
+		{"report", "-scales", "0.5,1", "E01"},
+		{"report", "-json", "E01"},
+		{"report", "-csv", "E01"},
+		{"report", "-set", "e01.exploration=0.5", "E01"},
+	} {
+		var out bytes.Buffer
+		err := run(args, &out)
+		if err == nil || !strings.Contains(err.Error(), "does not apply") {
+			t.Errorf("run(%v) = %v, want inapplicable-flag error", args, err)
+		}
+	}
+}
+
+func TestReportRejectsOutFlagOnOtherCommands(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"run", "-out", "x", "E01"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-out does not apply") {
+		t.Fatalf("err = %v, want -out rejection", err)
+	}
+}
+
+func TestReportRequiresIDs(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"report"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "requires experiment ids") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestReportWritesDeterministicTree generates a small report twice at
+// different worker counts into fresh directories and requires identical
+// bytes — the CLI-level version of the CI determinism gate.
+func TestReportWritesDeterministicTree(t *testing.T) {
+	dirA := t.TempDir()
+	dirB := t.TempDir()
+	var outA, outB bytes.Buffer
+	argsFor := func(dir, parallel string) []string {
+		return []string{"report", "-out", dir, "-seeds", "1..2", "-scale", "0.25", "-parallel", parallel, "E01", "E12"}
+	}
+	if err := run(argsFor(dirA, "1"), &outA); err != nil {
+		t.Fatalf("report -parallel 1: %v", err)
+	}
+	if err := run(argsFor(dirB, "8"), &outB); err != nil {
+		t.Fatalf("report -parallel 8: %v", err)
+	}
+	if !strings.Contains(outA.String(), "report: wrote") {
+		t.Errorf("missing summary line: %q", outA.String())
+	}
+	normA := strings.ReplaceAll(outA.String(), dirA, "DIR")
+	normB := strings.ReplaceAll(outB.String(), dirB, "DIR")
+	if normA != normB {
+		t.Errorf("summary lines differ: %q vs %q", normA, normB)
+	}
+	var paths []string
+	root := os.DirFS(dirA)
+	if err := fs.WalkDir(root, ".", func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			paths = append(paths, p)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("walk: %v", err)
+	}
+	if len(paths) < 4 {
+		t.Fatalf("report tree too small: %v", paths)
+	}
+	foundManifest := false
+	for _, p := range paths {
+		a, err := os.ReadFile(filepath.Join(dirA, p))
+		if err != nil {
+			t.Fatalf("read %s: %v", p, err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirB, p))
+		if err != nil {
+			t.Fatalf("%s missing from -parallel 8 tree: %v", p, err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s differs between -parallel 1 and -parallel 8", p)
+		}
+		if p == "manifest.json" {
+			foundManifest = true
+		}
+	}
+	if !foundManifest {
+		t.Error("report tree lacks manifest.json")
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/harness"
 	"repro/internal/netmodel"
+	"repro/internal/report"
 	"repro/internal/sim"
 )
 
@@ -209,6 +210,46 @@ func RunSweep(s Sweep, workers int) (*Report, error) {
 // the same scenario across seeds.
 func Aggregate(results []JobResult) *Report {
 	return harness.Aggregate(results)
+}
+
+// GroupView is the report-oriented aggregation view: a Report group plus
+// the artifacts of its lowest-seed replication.
+type GroupView = harness.GroupView
+
+// AggregateView collapses job results into report-oriented group views.
+func AggregateView(results []JobResult) []GroupView {
+	return harness.AggregateView(results)
+}
+
+// SectionOf returns the paper section an experiment's claim belongs to
+// (e.g. "§III-C P2") — the axis the reproduction report's traceability
+// matrix is grouped on.
+func SectionOf(e Experiment) string {
+	return core.SectionOf(e)
+}
+
+// ReportOptions configures reproduction-report generation: experiment
+// ids, replication seeds, workload scale, and harness worker count (the
+// latter never affects the generated bytes).
+type ReportOptions = report.Options
+
+// ReportTree is a generated reproduction report: a deterministic document
+// tree (REPORT.md, per-experiment pages, SVG figures, manifest.json with
+// content hashes) plus summary counters.
+type ReportTree = report.Tree
+
+// ReportFile is one artifact of a ReportTree.
+type ReportFile = report.File
+
+// GenerateReport runs the selected experiments across the seed set on the
+// harness worker pool and renders the reproduction report. Equal options
+// produce byte-identical trees at any worker count.
+func GenerateReport(opts ReportOptions) (*ReportTree, error) {
+	reg, err := experiments.Registry()
+	if err != nil {
+		return nil, err
+	}
+	return report.Generate(reg, opts)
 }
 
 // ParseSeeds parses a seed list specification such as "1..10" or "1,3,9".

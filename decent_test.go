@@ -89,3 +89,31 @@ func TestTransportReExports(t *testing.T) {
 		t.Fatal("transport defaults not exported")
 	}
 }
+
+func TestGenerateReportPublicAPI(t *testing.T) {
+	tree, err := GenerateReport(ReportOptions{
+		IDs:   []string{"E11"},
+		Seeds: []int64{1, 2},
+		Scale: 0.25,
+	})
+	if err != nil {
+		t.Fatalf("GenerateReport: %v", err)
+	}
+	if tree.Lookup("REPORT.md") == nil || tree.Lookup("manifest.json") == nil {
+		t.Fatal("report tree lacks REPORT.md or manifest.json")
+	}
+	if tree.Groups != 1 {
+		t.Fatalf("Groups = %d, want 1", tree.Groups)
+	}
+	reg, err := Experiments()
+	if err != nil {
+		t.Fatalf("Experiments: %v", err)
+	}
+	e, err := reg.Get("E11")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if got := SectionOf(e); got != "§III-B" {
+		t.Fatalf("SectionOf(E11) = %q, want §III-B", got)
+	}
+}

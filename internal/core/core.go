@@ -1,9 +1,3 @@
-// Package core is the reproduction framework — the paper's argument turned
-// into checkable artifacts. Each Experiment corresponds to one quantitative
-// claim from the paper, runs the relevant simulated systems, emits the
-// table/figure the claim corresponds to, and issues a shape verdict: does
-// the simulation reproduce who wins, by roughly what factor, and where the
-// crossover lies?
 package core
 
 import (
@@ -192,6 +186,34 @@ type Experiment interface {
 	Claim() string
 	// Run executes the experiment.
 	Run(cfg Config) (*Result, error)
+}
+
+// Sectioned is implemented by experiments that carry a stable paper
+// section tag (e.g. "§III-C P2") naming where in the paper's argument
+// their claim lives. The reproduction report groups its claim-traceability
+// matrix by this tag.
+type Sectioned interface {
+	// Section returns the paper section tag, e.g. "§II-B P1".
+	Section() string
+}
+
+// SectionOf returns the paper section an experiment's claim belongs to:
+// the Sectioned tag when the experiment implements it, otherwise the
+// leading "§..." token of the claim text (up to the first ":"), otherwise
+// "". The result is stable metadata — it depends only on the experiment
+// definition, never on a run.
+func SectionOf(e Experiment) string {
+	if s, ok := e.(Sectioned); ok {
+		if tag := s.Section(); tag != "" {
+			return tag
+		}
+	}
+	claim := e.Claim()
+	if !strings.HasPrefix(claim, "§") {
+		return ""
+	}
+	tag, _, _ := strings.Cut(claim, ":")
+	return strings.TrimSpace(tag)
 }
 
 // ErrUnknownExperiment is returned when an id does not resolve.

@@ -14,17 +14,22 @@ import (
 	"repro/internal/netmodel"
 )
 
-// exp is the shared experiment scaffold.
+// exp is the shared experiment scaffold. section is the stable paper
+// section tag (core.Sectioned) the reproduction report groups claims by;
+// every runner sets it explicitly and TestSections pins it against the
+// claim's "§..." prefix so the two can never drift apart.
 type exp struct {
-	id    string
-	title string
-	claim string
-	run   func(cfg core.Config, r *core.Result) error
+	id      string
+	title   string
+	claim   string
+	section string
+	run     func(cfg core.Config, r *core.Result) error
 }
 
-func (e *exp) ID() string    { return e.id }
-func (e *exp) Title() string { return e.title }
-func (e *exp) Claim() string { return e.claim }
+func (e *exp) ID() string      { return e.id }
+func (e *exp) Title() string   { return e.title }
+func (e *exp) Claim() string   { return e.claim }
+func (e *exp) Section() string { return e.section }
 
 func (e *exp) Run(cfg core.Config) (*core.Result, error) {
 	cfg = cfg.WithDefaults()

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestSections pins the stable section metadata the reproduction report
+// groups claims by: every runner carries an explicit tag, the tag leads
+// its claim text (so the two cannot drift apart), and core.SectionOf
+// resolves to the explicit tag.
+func TestSections(t *testing.T) {
+	reg, err := Registry()
+	if err != nil {
+		t.Fatalf("Registry: %v", err)
+	}
+	for _, e := range reg.All() {
+		sec, ok := e.(core.Sectioned)
+		if !ok {
+			t.Errorf("%s does not implement core.Sectioned", e.ID())
+			continue
+		}
+		tag := sec.Section()
+		if tag == "" {
+			t.Errorf("%s has an empty section tag", e.ID())
+			continue
+		}
+		if !strings.HasPrefix(tag, "§") {
+			t.Errorf("%s section %q does not start with §", e.ID(), tag)
+		}
+		if !strings.HasPrefix(e.Claim(), tag) {
+			t.Errorf("%s claim does not start with its section tag %q: %q",
+				e.ID(), tag, e.Claim())
+		}
+		if got := core.SectionOf(e); got != tag {
+			t.Errorf("core.SectionOf(%s) = %q, want %q", e.ID(), got, tag)
+		}
+	}
+}

@@ -85,15 +85,14 @@ func Aggregate(results []JobResult) *Report {
 	var order []*groupAcc
 	index := make(map[string]*groupAcc)
 	for _, jr := range results {
-		label := ParamLabel(jr.Job.Config.Params)
-		key := fmt.Sprintf("%s|%g|%s", strings.ToUpper(jr.Job.ExperimentID), jr.Job.Config.Scale, label)
+		key := groupKey(jr.Job)
 		acc, ok := index[key]
 		if !ok {
 			acc = &groupAcc{
 				group: Group{
 					ExperimentID: strings.ToUpper(jr.Job.ExperimentID),
 					Scale:        jr.Job.Config.Scale,
-					Params:       label,
+					Params:       ParamLabel(jr.Job.Config.Params),
 				},
 				metricIx: make(map[string]*metricAcc),
 				checkIx:  make(map[string]*checkAcc),
@@ -166,6 +165,23 @@ func Aggregate(results []JobResult) *Report {
 		rep.Groups = append(rep.Groups, g)
 	}
 	return rep
+}
+
+// key renders the scenario identity results are merged on: experiment id
+// + scale + canonical knob assignment, everything but the seed. Group
+// stores exactly these canonical components, so a group rebuilt from its
+// exported fields keys identically to the jobs that formed it.
+func (g Group) key() string {
+	return fmt.Sprintf("%s|%g|%s", g.ExperimentID, g.Scale, g.Params)
+}
+
+// groupKey is the job-side spelling of Group.key.
+func groupKey(j Job) string {
+	return Group{
+		ExperimentID: strings.ToUpper(j.ExperimentID),
+		Scale:        j.Config.Scale,
+		Params:       ParamLabel(j.Config.Params),
+	}.key()
 }
 
 type metricValue struct {

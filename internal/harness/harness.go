@@ -1,22 +1,3 @@
-// Package harness orchestrates experiment runs at parameter-sweep scale.
-//
-// The reproduction's experiments are deterministic and fully isolated —
-// each run builds its own sim.Sim from the config seed — so replications
-// and sweep points are trivially parallelizable. This package supplies the
-// machinery the single-run core deliberately omits:
-//
-//   - Runner: a worker pool that fans a job list out across GOMAXPROCS
-//     goroutines and returns results in job order, independent of
-//     scheduling;
-//   - Sweep: a grid type crossing experiment ids × seeds × scales × named
-//     per-experiment knobs into a deterministic job list;
-//   - Aggregate: collapses multi-seed replications of a scenario into
-//     mean/stddev/95%-CI per metric and a majority-vote shape verdict;
-//   - Report exporters: deterministic JSON and CSV, so sweep output is a
-//     machine-readable artifact rather than a terminal transcript.
-//
-// Determinism contract: the same Sweep over the same registry yields a
-// byte-identical Report.JSON() regardless of worker count.
 package harness
 
 import (

@@ -1,0 +1,20 @@
+// Package metrics provides the statistics and reporting primitives used
+// by every experiment: streaming summaries (Welford mean/variance with
+// min/max), exact percentile samples, concentration indices (Gini, HHI,
+// top-k share), and the artifact types experiments publish results
+// through — Table (aligned ASCII and CSV rendering) and Figure (named
+// series over a shared x-axis).
+//
+// A Figure renders three ways, all deterministic for equal inputs:
+//
+//   - Render draws a coarse ASCII plot for terminal output;
+//   - Table flattens the series into a grid for CSV export and
+//     cross-seed aggregation;
+//   - SVG draws a self-contained vector line plot (axes, tick labels,
+//     fixed series palette, legend) for the generated reproduction
+//     report.
+//
+// Determinism is a package contract: no renderer consults the clock,
+// random state, or map iteration order, so every artifact is
+// byte-identical across runs and safe to hash into a report manifest.
+package metrics

@@ -1,7 +1,3 @@
-// Package metrics provides the statistics and reporting primitives used by
-// every experiment: streaming summaries, exact percentile samples,
-// concentration indices (Gini, HHI, top-k share) and ASCII table/figure
-// rendering for reproducing the paper's claims as human-readable output.
 package metrics
 
 import (

@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// svgPalette is the fixed series color cycle for SVG figures. Colors are
+// part of the deterministic-output contract: the same figure renders to
+// byte-identical SVG on every run.
+var svgPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+	"#ff7f0e", "#17becf", "#8c564b", "#7f7f7f",
+}
+
+// SVG renders the figure as a self-contained SVG line plot: axes with
+// tick labels, one polyline plus point markers per series, and a legend.
+// It is the vector sibling of the ASCII Render and shares its conventions:
+// output is deterministic (fixed palette, fixed decimal formatting, no
+// timestamps or random ids), degenerate ranges are widened so coordinates
+// stay finite, and non-finite points are skipped, so the output never
+// contains NaN or Inf. Width and height are clamped to sane minimums.
+func (f *Figure) SVG(width, height int) string {
+	if width < 160 {
+		width = 160
+	}
+	if height < 120 {
+		height = 120
+	}
+	const (
+		marginL = 64
+		marginR = 16
+		marginT = 28
+		marginB = 44
+	)
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	n := 0
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !finite(p.X) || !finite(p.Y) {
+				continue
+			}
+			n++
+			minX, maxX = minf(minX, p.X), maxf(maxX, p.X)
+			minY, maxY = minf(minY, p.Y), maxf(maxY, p.Y)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif" font-size="11">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	if f.Title != "" {
+		fmt.Fprintf(&b, `<text x="%s" y="16" text-anchor="middle" font-size="13">%s</text>`+"\n",
+			svgNum(float64(width)/2), svgEsc(f.Title))
+	}
+	if n == 0 {
+		fmt.Fprintf(&b, `<text x="%s" y="%s" text-anchor="middle" fill="#888">no data</text>`+"\n",
+			svgNum(float64(width)/2), svgNum(float64(height)/2))
+		b.WriteString("</svg>\n")
+		return b.String()
+	}
+	// Widen degenerate ranges (single x or single y value) exactly like
+	// Render, so scale factors below stay finite.
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	px := func(x float64) float64 { return marginL + (x-minX)/(maxX-minX)*plotW }
+	py := func(y float64) float64 { return marginT + plotH - (y-minY)/(maxY-minY)*plotH }
+
+	// Frame and ticks: 5 evenly spaced ticks per axis, labeled at the
+	// same %.4g precision the ASCII renderer and tables use.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%s" height="%s" fill="none" stroke="#ccc"/>`+"\n",
+		marginL, marginT, svgNum(plotW), svgNum(plotH))
+	const ticks = 5
+	for i := 0; i < ticks; i++ {
+		frac := float64(i) / float64(ticks-1)
+		xv := minX + frac*(maxX-minX)
+		yv := minY + frac*(maxY-minY)
+		tx := px(xv)
+		ty := py(yv)
+		fmt.Fprintf(&b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="#eee"/>`+"\n",
+			svgNum(tx), svgNum(float64(marginT)), svgNum(tx), svgNum(float64(marginT)+plotH))
+		fmt.Fprintf(&b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="#eee"/>`+"\n",
+			svgNum(float64(marginL)), svgNum(ty), svgNum(float64(marginL)+plotW), svgNum(ty))
+		fmt.Fprintf(&b, `<text x="%s" y="%s" text-anchor="middle">%s</text>`+"\n",
+			svgNum(tx), svgNum(float64(marginT)+plotH+14), svgEsc(fmt.Sprintf("%.4g", xv)))
+		fmt.Fprintf(&b, `<text x="%s" y="%s" text-anchor="end">%s</text>`+"\n",
+			svgNum(float64(marginL)-6), svgNum(ty+4), svgEsc(fmt.Sprintf("%.4g", yv)))
+	}
+	if f.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%s" y="%s" text-anchor="middle">%s</text>`+"\n",
+			svgNum(marginL+plotW/2), svgNum(float64(height)-8), svgEsc(f.XLabel))
+	}
+	if f.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%s" text-anchor="middle" transform="rotate(-90 14 %s)">%s</text>`+"\n",
+			svgNum(marginT+plotH/2), svgNum(marginT+plotH/2), svgEsc(f.YLabel))
+	}
+	for si, s := range f.Series {
+		color := svgPalette[si%len(svgPalette)]
+		var path strings.Builder
+		segN := 0
+		for _, p := range s.Points {
+			if !finite(p.X) || !finite(p.Y) {
+				continue
+			}
+			if segN > 0 {
+				path.WriteByte(' ')
+			}
+			path.WriteString(svgNum(px(p.X)))
+			path.WriteByte(',')
+			path.WriteString(svgNum(py(p.Y)))
+			segN++
+		}
+		if segN > 1 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+				path.String(), color)
+		}
+		for _, p := range s.Points {
+			if !finite(p.X) || !finite(p.Y) {
+				continue
+			}
+			fmt.Fprintf(&b, `<circle cx="%s" cy="%s" r="2.5" fill="%s"/>`+"\n",
+				svgNum(px(p.X)), svgNum(py(p.Y)), color)
+		}
+	}
+	// Legend: top-right inside the plot, one swatch + name per series.
+	for si, s := range f.Series {
+		color := svgPalette[si%len(svgPalette)]
+		ly := float64(marginT) + 14 + 14*float64(si)
+		lx := float64(marginL) + plotW - 12
+		fmt.Fprintf(&b, `<rect x="%s" y="%s" width="10" height="10" fill="%s"/>`+"\n",
+			svgNum(lx), svgNum(ly-9), color)
+		fmt.Fprintf(&b, `<text x="%s" y="%s" text-anchor="end">%s</text>`+"\n",
+			svgNum(lx-4), svgNum(ly), svgEsc(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// svgNum formats a coordinate with fixed two-decimal precision: enough for
+// sub-pixel placement, few enough digits that float noise cannot leak into
+// the byte-level determinism contract.
+func svgNum(v float64) string {
+	return fmt.Sprintf("%.2f", v)
+}
+
+// svgEscaper escapes text for SVG/XML content and attribute values.
+var svgEscaper = strings.NewReplacer(
+	"&", "&amp;",
+	"<", "&lt;",
+	">", "&gt;",
+	`"`, "&quot;",
+)
+
+func svgEsc(s string) string {
+	return svgEscaper.Replace(s)
+}

@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSVGEmptyFigure(t *testing.T) {
+	f := &Figure{Title: "empty", XLabel: "x", YLabel: "y"}
+	out := f.SVG(400, 240)
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty figure should render a 'no data' placeholder:\n%s", out)
+	}
+	assertCleanSVG(t, out)
+}
+
+func TestSVGSinglePoint(t *testing.T) {
+	f := &Figure{Title: "one", XLabel: "x", YLabel: "y"}
+	f.Add("s", 3, 7)
+	out := f.SVG(400, 240)
+	if !strings.Contains(out, "<circle") {
+		t.Errorf("single point should render a marker:\n%s", out)
+	}
+	if strings.Contains(out, "<polyline") {
+		t.Errorf("single point must not emit a polyline:\n%s", out)
+	}
+	assertCleanSVG(t, out)
+}
+
+func TestSVGSkipsNonFinitePoints(t *testing.T) {
+	f := &Figure{Title: "mixed"}
+	f.Add("s", 1, 1)
+	f.Add("s", 2, math.NaN())
+	f.Add("s", 3, math.Inf(1))
+	f.Add("s", 4, 4)
+	out := f.SVG(400, 240)
+	if got := strings.Count(out, "<circle"); got != 2 {
+		t.Errorf("want 2 markers for the 2 finite points, got %d", got)
+	}
+	assertCleanSVG(t, out)
+}
+
+func TestSVGAllNonFinite(t *testing.T) {
+	f := &Figure{Title: "void"}
+	f.Add("s", math.NaN(), math.NaN())
+	out := f.SVG(400, 240)
+	if !strings.Contains(out, "no data") {
+		t.Errorf("all-non-finite figure should degrade to 'no data':\n%s", out)
+	}
+	assertCleanSVG(t, out)
+}
+
+func TestSVGDeterministicAndEscaped(t *testing.T) {
+	build := func() *Figure {
+		f := &Figure{Title: `a<b & "c"`, XLabel: "x>", YLabel: "<y"}
+		f.Add("first & last", 0, 0)
+		f.Add("first & last", 1, 2)
+		f.Add("other", 0, 1)
+		f.Add("other", 1, 1)
+		return f
+	}
+	a, b := build().SVG(480, 300), build().SVG(480, 300)
+	if a != b {
+		t.Error("SVG output is not deterministic for equal figures")
+	}
+	for _, raw := range []string{`a<b`, `"c"`, "x>", "<y", "first & last"} {
+		if strings.Contains(a, raw) {
+			t.Errorf("unescaped text %q leaked into SVG", raw)
+		}
+	}
+	if !strings.Contains(a, "first &amp; last") {
+		t.Error("series name should appear XML-escaped in the legend")
+	}
+	assertCleanSVG(t, a)
+}
+
+func TestSVGClampsTinyDimensions(t *testing.T) {
+	f := &Figure{}
+	f.Add("s", 1, 1)
+	f.Add("s", 2, 2)
+	out := f.SVG(1, 1)
+	if !strings.Contains(out, `width="160" height="120"`) {
+		t.Errorf("tiny dimensions should clamp to 160x120:\n%s", out[:120])
+	}
+	assertCleanSVG(t, out)
+}
+
+// assertCleanSVG checks the shared output contract: well-delimited SVG with
+// no NaN/Inf coordinates anywhere.
+func assertCleanSVG(t *testing.T, out string) {
+	t.Helper()
+	if !strings.HasPrefix(out, "<svg ") || !strings.HasSuffix(out, "</svg>\n") {
+		t.Errorf("output is not a well-delimited SVG document")
+	}
+	for _, bad := range []string{"NaN", "Inf", "+Inf", "-Inf"} {
+		if strings.Contains(out, bad) {
+			t.Errorf("SVG contains non-finite token %q:\n%s", bad, out)
+		}
+	}
+}

@@ -1,9 +1,3 @@
-// Package netmodel models the wide-area network underneath every simulated
-// overlay: per-region propagation delays with jitter, per-node access
-// bandwidth (serialization delay), message loss, partitions, and traffic
-// accounting. It deliberately models the network at the message level — the
-// granularity at which overlay and blockchain behaviour (fork rates, lookup
-// timeouts, broadcast latency) is determined.
 package netmodel
 
 import (

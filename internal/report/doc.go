@@ -1,0 +1,26 @@
+// Package report assembles the paper's argument back together: it runs
+// any set of experiments across a seed set on the harness worker pool and
+// renders the aggregated evidence as a deterministic document tree — the
+// publishable counterpart of the per-run terminal output.
+//
+// The tree contains:
+//
+//   - REPORT.md — the claim-traceability matrix: paper section →
+//     experiment → majority-vote verdict, with a headline metric carrying
+//     its 95% confidence half-width, grouped and ordered by the paper's
+//     section structure (core.SectionOf);
+//   - experiments/<ID>.md — one page per experiment: claim, per-check
+//     seed votes with representative detail, aggregated metrics
+//     (mean/stddev/95% CI/min/max), the representative run's tables as
+//     markdown, and its figures as embedded SVG;
+//   - figures/<ID>-<n>.svg — self-contained vector plots rendered by
+//     metrics.Figure.SVG;
+//   - manifest.json — every artifact indexed by path, SHA-256 content
+//     hash, and size, plus the generation parameters.
+//
+// Determinism is the core contract: Generate consumes only the harness
+// aggregation view (itself schedule-independent) and renders with fixed
+// formatting, so equal registries, ids, seeds, and scales produce
+// byte-identical trees at any worker count. CI regenerates the report at
+// two worker counts and fails on any byte difference.
+package report
