@@ -10,6 +10,13 @@
 // and allocs/op, plus the owning package from the `pkg:` header lines.
 // Results are sorted by (package, name) so the artifact is deterministic
 // regardless of package ordering.
+//
+// With -check-allocs BASELINE.json the parsed results are also gated
+// against a committed baseline: any benchmark whose baseline reports
+// 0 allocs/op must still report 0 (matched by package + name with the
+// machine-dependent -GOMAXPROCS suffix stripped), so allocation
+// regressions on the pinned hot paths fail CI even though ns/op varies
+// by runner.
 package main
 
 import (
@@ -97,13 +104,89 @@ func Parse(r io.Reader) ([]Result, error) {
 	return out, nil
 }
 
-func run(in io.Reader, outPath string) error {
+// baseName strips a trailing "-<digits>" GOMAXPROCS suffix so results
+// from machines with different core counts compare by benchmark
+// identity. Safe here because none of the pinned benchmarks are
+// sub-benchmarks with their own numeric suffix (CheckAllocs is the only
+// consumer; the JSON artifact keeps full names).
+func baseName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// CheckAllocs enforces the allocation-regression gate: every benchmark
+// whose committed baseline reports 0 allocs/op must still report 0 (and
+// must still exist, with -benchmem on) in the current results. ns/op is
+// machine-dependent and deliberately not compared.
+func CheckAllocs(baseline, current []Result) error {
+	cur := make(map[string]Result, len(current))
+	for _, r := range current {
+		key := r.Pkg + "\x00" + baseName(r.Name)
+		// Two benchmarks collapsing to one key (a sub-benchmark with its
+		// own trailing number, or a -cpu list) would let one silently
+		// shadow the other's regression — refuse rather than guess.
+		if prev, dup := cur[key]; dup {
+			return fmt.Errorf("benchjson: benchmarks %s and %s collapse to the same identity %s after suffix stripping; rename them or drop -cpu lists",
+				prev.Name, r.Name, baseName(r.Name))
+		}
+		cur[key] = r
+	}
+	var violations []string
+	for _, b := range baseline {
+		if b.AllocsOp == nil || *b.AllocsOp != 0 {
+			continue
+		}
+		key := b.Pkg + "\x00" + baseName(b.Name)
+		c, ok := cur[key]
+		switch {
+		case !ok:
+			violations = append(violations, fmt.Sprintf(
+				"%s %s: pinned 0-alloc benchmark missing from current results", b.Pkg, baseName(b.Name)))
+		case c.AllocsOp == nil:
+			violations = append(violations, fmt.Sprintf(
+				"%s %s: current results lack allocs/op (run with -benchmem)", b.Pkg, baseName(b.Name)))
+		case *c.AllocsOp > 0:
+			violations = append(violations, fmt.Sprintf(
+				"%s %s: allocs/op regressed from 0 to %d", b.Pkg, baseName(b.Name), *c.AllocsOp))
+		}
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("benchjson: allocation regression on the pinned hot paths:\n  %s",
+			strings.Join(violations, "\n  "))
+	}
+	return nil
+}
+
+func run(in io.Reader, outPath, checkPath string) error {
 	results, err := Parse(in)
 	if err != nil {
 		return err
 	}
 	if len(results) == 0 {
 		return fmt.Errorf("benchjson: no benchmark lines found in input")
+	}
+	if checkPath != "" {
+		data, err := os.ReadFile(checkPath)
+		if err != nil {
+			return fmt.Errorf("benchjson: read baseline: %w", err)
+		}
+		var baseline []Result
+		if err := json.Unmarshal(data, &baseline); err != nil {
+			return fmt.Errorf("benchjson: baseline %s: %w", checkPath, err)
+		}
+		if err := CheckAllocs(baseline, results); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: 0-alloc paths in %s hold\n", checkPath)
+		if outPath == "" {
+			return nil
+		}
 	}
 	enc, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
@@ -119,7 +202,8 @@ func run(in io.Reader, outPath string) error {
 
 func main() {
 	in := flag.String("in", "", "input file (default: stdin)")
-	out := flag.String("out", "", "output file (default: stdout)")
+	out := flag.String("out", "", "output file (default: stdout; omitted when only checking)")
+	check := flag.String("check-allocs", "", "baseline JSON; fail if any benchmark with 0 baseline allocs/op now allocates")
 	flag.Parse()
 	src := io.Reader(os.Stdin)
 	if *in != "" {
@@ -131,7 +215,7 @@ func main() {
 		defer f.Close()
 		src = f
 	}
-	if err := run(src, *out); err != nil {
+	if err := run(src, *out, *check); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

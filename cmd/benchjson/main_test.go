@@ -96,7 +96,7 @@ func TestParseIgnoresNoise(t *testing.T) {
 
 func TestRunWritesDeterministicJSON(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
-	if err := run(strings.NewReader(sample), out); err != nil {
+	if err := run(strings.NewReader(sample), out, ""); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -110,7 +110,83 @@ func TestRunWritesDeterministicJSON(t *testing.T) {
 	if len(results) != 3 {
 		t.Fatalf("round-tripped %d results, want 3", len(results))
 	}
-	if err := run(strings.NewReader("no benchmarks"), out); err == nil {
+	if err := run(strings.NewReader("no benchmarks"), out, ""); err == nil {
 		t.Fatal("empty input should be an error, not an empty artifact")
+	}
+}
+
+// allocBaseline builds a minimal baseline result for CheckAllocs tests.
+func allocResult(pkg, name string, allocs int64) Result {
+	return Result{Pkg: pkg, Name: name, Iters: 1, NsPerOp: 1, AllocsOp: &allocs}
+}
+
+func TestCheckAllocsHolds(t *testing.T) {
+	baseline := []Result{allocResult("p", "BenchmarkTransportSend-64", 0)}
+	// Different GOMAXPROCS suffix on the runner must still match.
+	current := []Result{allocResult("p", "BenchmarkTransportSend-4", 0)}
+	if err := CheckAllocs(baseline, current); err != nil {
+		t.Fatalf("CheckAllocs: %v", err)
+	}
+}
+
+func TestCheckAllocsRegression(t *testing.T) {
+	baseline := []Result{allocResult("p", "BenchmarkTransportSend-8", 0)}
+	current := []Result{allocResult("p", "BenchmarkTransportSend-8", 2)}
+	err := CheckAllocs(baseline, current)
+	if err == nil || !strings.Contains(err.Error(), "regressed from 0 to 2") {
+		t.Fatalf("err = %v, want regression", err)
+	}
+}
+
+func TestCheckAllocsMissingBenchmark(t *testing.T) {
+	baseline := []Result{allocResult("p", "BenchmarkTransportSend-8", 0)}
+	err := CheckAllocs(baseline, nil)
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("err = %v, want missing-benchmark failure", err)
+	}
+}
+
+func TestCheckAllocsIgnoresNonZeroBaselines(t *testing.T) {
+	// A benchmark that already allocated in the baseline is not pinned;
+	// only 0-alloc paths gate.
+	baseline := []Result{allocResult("p", "BenchmarkOther-8", 3)}
+	current := []Result{allocResult("p", "BenchmarkOther-8", 9)}
+	if err := CheckAllocs(baseline, current); err != nil {
+		t.Fatalf("CheckAllocs: %v", err)
+	}
+	// And a baseline without memory data pins nothing.
+	if err := CheckAllocs([]Result{{Pkg: "p", Name: "BenchmarkX-8"}}, nil); err != nil {
+		t.Fatalf("CheckAllocs: %v", err)
+	}
+}
+
+func TestRunCheckAllocsEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "baseline.json")
+	if err := run(strings.NewReader(sample), base, ""); err != nil {
+		t.Fatalf("write baseline: %v", err)
+	}
+	// The same input passes its own baseline, with no -out required.
+	if err := run(strings.NewReader(sample), "", base); err != nil {
+		t.Fatalf("self-check: %v", err)
+	}
+	// A leaked allocation on the pinned 0-alloc path fails the gate.
+	leaky := strings.Replace(sample,
+		"2000000	       512.3 ns/op	       0 B/op	       0 allocs/op",
+		"2000000	       512.3 ns/op	      24 B/op	       3 allocs/op", 1)
+	err := run(strings.NewReader(leaky), "", base)
+	if err == nil || !strings.Contains(err.Error(), "allocation regression") {
+		t.Fatalf("err = %v, want allocation-regression failure", err)
+	}
+}
+
+func TestCheckAllocsRejectsCollapsingNames(t *testing.T) {
+	current := []Result{
+		allocResult("p", "BenchmarkSend/batch-8", 0),
+		allocResult("p", "BenchmarkSend/batch-64", 0),
+	}
+	err := CheckAllocs(nil, current)
+	if err == nil || !strings.Contains(err.Error(), "collapse to the same identity") {
+		t.Fatalf("err = %v, want collapsing-name rejection", err)
 	}
 }

@@ -13,8 +13,11 @@
 //	decentsim sweep -seeds 1..5 -set e03.lookups=100,200 E03
 //	decentsim sweep -seeds 1..3 -set e06.shards=16,64,256 -set e06.crossshard=0.1,0.5 E06
 //	decentsim rep -n 10 E06            # replicate over seeds 1..n, aggregate
+//	decentsim rep -seeds 1..100 -drift SOAK_drift.json E01 E11 E16
 //	decentsim report -seeds 1..3 all   # render the reproduction report tree
 //	decentsim report -out docs/report -parallel 8 E06 E08
+//	decentsim report -sensitivity all  # + per-knob sensitivity pages
+//	decentsim report -sensitivity -grid-points 3 -scale 0.25 -seeds 1..2 all
 //
 // Every experiment E01–E19 registers sweepable knobs; -set accepts any
 // name listed in DESIGN.md's knob table (unknown names are rejected with
@@ -60,6 +63,10 @@ type options struct {
 	reps     int
 	out      string
 	set      knobFlags
+
+	sensitivity bool
+	gridPoints  int
+	drift       string
 }
 
 // knobFlags collects repeatable -set name=v1,v2 knob specifications.
@@ -100,6 +107,9 @@ func (o *options) register(fs *flag.FlagSet) {
 	fs.IntVar(&o.reps, "n", o.reps, "rep: replication count, seeds 1..n (conflicts with -seeds)")
 	fs.StringVar(&o.out, "out", o.out, "report: output directory for the generated report tree")
 	fs.Var(&o.set, "set", "sweep knob values, e.g. -set e03.lookups=100,200 (repeatable; every experiment has knobs — see DESIGN.md)")
+	fs.BoolVar(&o.sensitivity, "sensitivity", o.sensitivity, "report: sweep every registered knob over its default grid and render per-knob sensitivity pages")
+	fs.IntVar(&o.gridPoints, "grid-points", o.gridPoints, "report: swept values per knob grid (default 5; needs -sensitivity)")
+	fs.StringVar(&o.drift, "drift", o.drift, "rep: also write per-scenario headline-metric drift bounds (mean/stddev/95% CI) as JSON to this file")
 }
 
 func run(args []string, out io.Writer) error {
@@ -130,20 +140,28 @@ func run(args []string, out io.Writer) error {
 	sub.Visit(func(f *flag.Flag) { provided[f.Name] = true })
 	inapplicable := map[string]map[string]string{
 		"run": {
-			"seeds":  "use the sweep or rep subcommand for multi-seed runs",
-			"scales": "use the sweep subcommand to cross scales",
-			"n":      "use the rep subcommand for replications",
-			"out":    "only the report subcommand writes a directory tree",
+			"seeds":       "use the sweep or rep subcommand for multi-seed runs",
+			"scales":      "use the sweep subcommand to cross scales",
+			"n":           "use the rep subcommand for replications",
+			"out":         "only the report subcommand writes a directory tree",
+			"sensitivity": "only the report subcommand renders sensitivity pages",
+			"grid-points": "only the report subcommand sweeps knob grids",
+			"drift":       "only the rep subcommand writes drift bounds",
 		},
 		"sweep": {
-			"seed": "use -seeds to choose sweep seeds",
-			"n":    "use -seeds, or the rep subcommand",
-			"out":  "only the report subcommand writes a directory tree",
+			"seed":        "use -seeds to choose sweep seeds",
+			"n":           "use -seeds, or the rep subcommand",
+			"out":         "only the report subcommand writes a directory tree",
+			"sensitivity": "only the report subcommand renders sensitivity pages",
+			"grid-points": "only the report subcommand sweeps knob grids",
+			"drift":       "only the rep subcommand writes drift bounds",
 		},
 		"rep": {
-			"seed":   "use -seeds or -n to choose replication seeds",
-			"scales": "rep replicates one scenario; use sweep to cross scales",
-			"out":    "only the report subcommand writes a directory tree",
+			"seed":        "use -seeds or -n to choose replication seeds",
+			"scales":      "rep replicates one scenario; use sweep to cross scales",
+			"out":         "only the report subcommand writes a directory tree",
+			"sensitivity": "only the report subcommand renders sensitivity pages",
+			"grid-points": "only the report subcommand sweeps knob grids",
 		},
 		"report": {
 			"seed":   "use -seeds to choose the replication seeds",
@@ -151,7 +169,8 @@ func run(args []string, out io.Writer) error {
 			"scales": "the report runs one scale; use -scale",
 			"csv":    "the report is a markdown/SVG/JSON directory tree",
 			"json":   "the report is a markdown/SVG/JSON directory tree",
-			"set":    "the report documents baseline runs; use sweep for knob grids",
+			"set":    "the report documents baseline runs; use -sensitivity for knob grids, or sweep",
+			"drift":  "only the rep subcommand writes drift bounds",
 		},
 	}
 	if cmd == "list" && len(provided) > 0 {
@@ -170,6 +189,12 @@ func run(args []string, out io.Writer) error {
 	}
 	if provided["scale"] && provided["scales"] {
 		return fmt.Errorf("%s: -scale and -scales conflict; choose one", cmd)
+	}
+	if provided["grid-points"] && !opts.sensitivity {
+		return errors.New("report: -grid-points needs -sensitivity")
+	}
+	if provided["grid-points"] && opts.gridPoints < 1 {
+		return fmt.Errorf("report: -grid-points must be >= 1 (got %d)", opts.gridPoints)
 	}
 	if cmd == "run" && opts.seed < 1 {
 		return fmt.Errorf("run: -seed must be >= 1 (got %d)", opts.seed)
@@ -362,9 +387,11 @@ func reportCmd(out io.Writer, reg *decent.Registry, opts *options, ids []string)
 		return fmt.Errorf("report: %w", err)
 	}
 	ropts := decent.ReportOptions{
-		IDs:     ids,
-		Scale:   opts.scale,
-		Workers: opts.parallel,
+		IDs:         ids,
+		Scale:       opts.scale,
+		Workers:     opts.parallel,
+		Sensitivity: opts.sensitivity,
+		GridPoints:  opts.gridPoints,
 	}
 	if opts.seeds != "" {
 		if ropts.Seeds, err = decent.ParseSeeds(opts.seeds); err != nil {
@@ -384,6 +411,55 @@ func reportCmd(out io.Writer, reg *decent.Registry, opts *options, ids []string)
 		return fmt.Errorf("report: %d run(s) errored (see the generated pages)", tree.RunErrors)
 	}
 	return nil
+}
+
+// writeDrift exports per-scenario drift bounds: the headline metric
+// (first varying, else first) of every aggregate group with its
+// cross-seed mean, stddev and 95% CI. This is the compact artifact the
+// nightly soak workflow publishes, so metric drift across large seed
+// sets accumulates as a trajectory instead of a full report tree.
+func writeDrift(path string, report *decent.Report, seeds []int64) error {
+	type driftMetric struct {
+		Experiment   string  `json:"experiment"`
+		Scale        float64 `json:"scale"`
+		Params       string  `json:"params,omitempty"`
+		Replications int     `json:"replications"`
+		Metric       string  `json:"metric"`
+		N            int     `json:"n"`
+		Mean         float64 `json:"mean"`
+		Std          float64 `json:"stddev"`
+		CI95         float64 `json:"ci95"`
+		Min          float64 `json:"min"`
+		Max          float64 `json:"max"`
+	}
+	doc := struct {
+		Seeds int           `json:"seeds"`
+		Drift []driftMetric `json:"drift"`
+	}{Seeds: len(seeds), Drift: []driftMetric{}}
+	for _, g := range report.Groups {
+		m, ok := g.Headline()
+		if !ok {
+			continue
+		}
+		doc.Drift = append(doc.Drift, driftMetric{
+			Experiment:   g.ExperimentID,
+			Scale:        g.Scale,
+			Params:       g.Params,
+			Replications: g.Replications,
+			Metric:       m.Name,
+			N:            m.N,
+			Mean:         m.Mean,
+			Std:          m.Std,
+			CI95:         m.CI95,
+			Min:          m.Min,
+			Max:          m.Max,
+		})
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(enc, '\n'), 0o644)
 }
 
 // sweepCmd runs a multi-seed sweep (or, for rep, a pure replication) and
@@ -435,6 +511,11 @@ func sweepCmd(out io.Writer, reg *decent.Registry, opts *options, ids []string, 
 	report, err := decent.RunSweep(sweep, opts.parallel)
 	if err != nil {
 		return err
+	}
+	if rep && opts.drift != "" {
+		if err := writeDrift(opts.drift, report, sweep.Seeds); err != nil {
+			return fmt.Errorf("rep: %w", err)
+		}
 	}
 	switch {
 	case opts.json:

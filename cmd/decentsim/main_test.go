@@ -74,6 +74,12 @@ func TestInapplicableFlagsRejected(t *testing.T) {
 		{[]string{"run", "-scales", "0.5,1", "E01"}},
 		{[]string{"sweep", "-seed", "7", "E01"}},
 		{[]string{"rep", "-seed", "7", "E01"}},
+		{[]string{"run", "-sensitivity", "E01"}},
+		{[]string{"sweep", "-sensitivity", "E01"}},
+		{[]string{"rep", "-sensitivity", "E01"}},
+		{[]string{"run", "-drift", "x.json", "E01"}},
+		{[]string{"sweep", "-drift", "x.json", "E01"}},
+		{[]string{"report", "-drift", "x.json", "E01"}},
 	} {
 		err := run(tc.args, &out)
 		if err == nil || !strings.Contains(err.Error(), "does not apply") {
@@ -368,6 +374,78 @@ func TestReportRejectsInapplicableFlags(t *testing.T) {
 		if err == nil || !strings.Contains(err.Error(), "does not apply") {
 			t.Errorf("run(%v) = %v, want inapplicable-flag error", args, err)
 		}
+	}
+}
+
+func TestGridPointsNeedsSensitivity(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"report", "-grid-points", "3", "E11"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "needs -sensitivity") {
+		t.Fatalf("err = %v, want -grid-points gating", err)
+	}
+	err = run([]string{"report", "-sensitivity", "-grid-points", "0", "E11"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "must be >= 1") {
+		t.Fatalf("err = %v, want positive grid-points", err)
+	}
+}
+
+// TestReportSensitivityWritesPages drives `report -sensitivity` end to
+// end on the cheap analytic E11: the tree gains per-knob figures and the
+// page gains the sensitivity sections.
+func TestReportSensitivityWritesPages(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{"report", "-sensitivity", "-grid-points", "3", "-seeds", "1..2", "-out", dir, "E11"}, &out)
+	if err != nil {
+		t.Fatalf("report -sensitivity: %v\n%s", err, out.String())
+	}
+	page, err := os.ReadFile(filepath.Join(dir, "experiments", "E11.md"))
+	if err != nil {
+		t.Fatalf("read page: %v", err)
+	}
+	for _, want := range []string{"## Sensitivity", "### Verdict stability"} {
+		if !strings.Contains(string(page), want) {
+			t.Errorf("page lacks %q", want)
+		}
+	}
+	// e11.tps sweeps keep the headline metric's name stable, so that knob
+	// gets the metric-vs-knob figure (e11.price embeds the swept price in
+	// the metric name and renders an explanatory note instead).
+	if _, err := os.Stat(filepath.Join(dir, "figures", "E11-sens-e11.tps-1.svg")); err != nil {
+		t.Errorf("missing sensitivity figure: %v", err)
+	}
+}
+
+// TestRepDriftWritesBounds checks `rep -drift` exports the headline
+// metric's cross-seed statistics as the soak artifact.
+func TestRepDriftWritesBounds(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "drift.json")
+	var out bytes.Buffer
+	if err := run([]string{"rep", "-n", "3", "-scale", "0.25", "-drift", path, "E11"}, &out); err != nil {
+		t.Fatalf("rep -drift: %v\n%s", err, out.String())
+	}
+	var doc struct {
+		Seeds int `json:"seeds"`
+		Drift []struct {
+			Experiment string  `json:"experiment"`
+			Metric     string  `json:"metric"`
+			N          int     `json:"n"`
+			Mean       float64 `json:"mean"`
+		} `json:"drift"`
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read drift: %v", err)
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("drift JSON: %v", err)
+	}
+	if doc.Seeds != 3 || len(doc.Drift) != 1 {
+		t.Fatalf("drift doc = %+v, want 3 seeds and one E11 group", doc)
+	}
+	d := doc.Drift[0]
+	if d.Experiment != "E11" || d.Metric == "" || d.N != 3 {
+		t.Errorf("drift entry = %+v", d)
 	}
 }
 

@@ -173,6 +173,27 @@ func KnobAppliesTo(name, id string) bool {
 	return harness.KnobAppliesTo(name, id)
 }
 
+// DefaultGridPoints is the default number of swept values per knob in a
+// sensitivity grid (KnobSpec.Grid, report -sensitivity).
+const DefaultGridPoints = experiments.DefaultGridPoints
+
+// SensitivityGrids builds the default sensitivity grid for every
+// registered knob: name -> up to points values spanning the knob's
+// floor → default → stretch range, valid as explicit settings at the
+// given workload scale. This is the grid `decentsim report -sensitivity`
+// sweeps when ReportOptions.Grids is nil.
+func SensitivityGrids(points int, scale float64) map[string][]float64 {
+	return experiments.SensitivityGrids(points, scale)
+}
+
+// ScenarioKey renders the canonical identity replications aggregate on
+// (experiment id + scale + knob assignment); it equals Group.Key for the
+// group those runs merge into, so sweep output can be indexed by the
+// scenarios that were submitted.
+func ScenarioKey(experimentID string, scale float64, params map[string]float64) string {
+	return harness.ScenarioKey(experimentID, scale, params)
+}
+
 // Run executes a single experiment by id with the given configuration.
 func Run(id string, cfg Config) (*Result, error) {
 	reg, err := experiments.Registry()

@@ -175,6 +175,43 @@ func (g Group) key() string {
 	return fmt.Sprintf("%s|%g|%s", g.ExperimentID, g.Scale, g.Params)
 }
 
+// Key returns the group's canonical scenario identity — the same string
+// ScenarioKey renders for the jobs that formed it, so callers can index
+// aggregated output by the scenarios they submitted.
+func (g Group) Key() string { return g.key() }
+
+// ScenarioKey renders the canonical identity replications are merged on:
+// experiment id + scale + knob assignment (everything but the seed). It
+// equals Group.Key for the group those jobs aggregate into.
+func ScenarioKey(experimentID string, scale float64, params map[string]float64) string {
+	return Group{
+		ExperimentID: strings.ToUpper(experimentID),
+		Scale:        scale,
+		Params:       ParamLabel(params),
+	}.key()
+}
+
+// Headline returns the group's headline metric: the first aggregated
+// metric that actually varies across seeds (explicit full-precision
+// metrics sort first in the aggregation, so experiments that record one
+// get it), falling back to the group's first metric when every metric is
+// constant. ok is false when the group has no metrics. The choice
+// depends only on the aggregation, so it is deterministic for equal
+// inputs.
+func (g Group) Headline() (m MetricAgg, ok bool) {
+	if len(g.Metrics) == 0 {
+		return MetricAgg{}, false
+	}
+	m = g.Metrics[0]
+	for _, cand := range g.Metrics {
+		if cand.Std > 0 {
+			m = cand
+			break
+		}
+	}
+	return m, true
+}
+
 // groupKey is the job-side spelling of Group.key.
 func groupKey(j Job) string {
 	return Group{

@@ -17,7 +17,14 @@
 //     figures, check detail) of its lowest-seed replication so the report
 //     generator can embed concrete output next to cross-seed votes;
 //   - Report exporters: deterministic JSON and CSV, so sweep output is a
-//     machine-readable artifact rather than a terminal transcript.
+//     machine-readable artifact rather than a terminal transcript;
+//   - ScenarioKey / Group.Key: the canonical scenario identity
+//     (experiment + scale + knob assignment), so callers — the report's
+//     sensitivity layer — can index aggregated output by the grid points
+//     they submitted instead of collapsing knob values together;
+//   - Group.Headline: the headline-metric selection rule (first varying
+//     metric, else first) shared by the report matrix and the soak drift
+//     export.
 //
 // Determinism contract: the same Sweep over the same registry yields a
 // byte-identical Report.JSON() — and the same AggregateView — regardless

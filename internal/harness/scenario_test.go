@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestScenarioKeyMatchesGroups checks the exported key round-trips: a
+// job built from (id, scale, params) aggregates into a group whose Key
+// equals ScenarioKey of the same triple, for canonical and non-canonical
+// id spellings alike.
+func TestScenarioKeyMatchesGroups(t *testing.T) {
+	params := map[string]float64{"e03.lookups": 100}
+	j := Job{ExperimentID: "e03", Config: core.Config{Seed: 2, Scale: 0.5, Params: params}}
+	got := groupKey(j)
+	if want := ScenarioKey("E03", 0.5, params); got != want {
+		t.Errorf("groupKey = %q, ScenarioKey = %q", got, want)
+	}
+	g := Group{ExperimentID: "E03", Scale: 0.5, Params: ParamLabel(params)}
+	if g.Key() != got {
+		t.Errorf("Group.Key = %q, want %q", g.Key(), got)
+	}
+}
+
+// TestHeadlinePrefersVaryingMetric pins the headline-selection rule the
+// report and drift exports share: first varying metric, else the first
+// metric, else none.
+func TestHeadlinePrefersVaryingMetric(t *testing.T) {
+	g := Group{Metrics: []MetricAgg{
+		{Name: "constant", Mean: 1},
+		{Name: "varying", Mean: 2, Std: 0.5},
+	}}
+	m, ok := g.Headline()
+	if !ok || m.Name != "varying" {
+		t.Errorf("Headline = %+v, %v; want the varying metric", m, ok)
+	}
+
+	g = Group{Metrics: []MetricAgg{{Name: "a"}, {Name: "b"}}}
+	m, ok = g.Headline()
+	if !ok || m.Name != "a" {
+		t.Errorf("Headline = %+v, %v; want the first metric", m, ok)
+	}
+
+	if _, ok := (Group{}).Headline(); ok {
+		t.Error("empty group should have no headline")
+	}
+}

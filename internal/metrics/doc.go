@@ -11,8 +11,8 @@
 //   - Table flattens the series into a grid for CSV export and
 //     cross-seed aggregation;
 //   - SVG draws a self-contained vector line plot (axes, tick labels,
-//     fixed series palette, legend) for the generated reproduction
-//     report.
+//     fixed series palette, legend, and shaded Band polygons for
+//     confidence envelopes) for the generated reproduction report.
 //
 // Determinism is a package contract: no renderer consults the clock,
 // random state, or map iteration order, so every artifact is

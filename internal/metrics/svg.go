@@ -15,7 +15,8 @@ var svgPalette = []string{
 }
 
 // SVG renders the figure as a self-contained SVG line plot: axes with
-// tick labels, one polyline plus point markers per series, and a legend.
+// tick labels, shaded band polygons (confidence envelopes) behind the
+// data, one polyline plus point markers per series, and a legend.
 // It is the vector sibling of the ASCII Render and shares its conventions:
 // output is deterministic (fixed palette, fixed decimal formatting, no
 // timestamps or random ids), degenerate ranges are widened so coordinates
@@ -48,6 +49,16 @@ func (f *Figure) SVG(width, height int) string {
 			n++
 			minX, maxX = minf(minX, p.X), maxf(maxX, p.X)
 			minY, maxY = minf(minY, p.Y), maxf(maxY, p.Y)
+		}
+	}
+	for _, bd := range f.Bands {
+		for _, p := range bd.Points {
+			if !finite(p.X) || !finite(p.Lo) || !finite(p.Hi) {
+				continue
+			}
+			n++
+			minX, maxX = minf(minX, p.X), maxf(maxX, p.X)
+			minY, maxY = minf(minY, p.Lo), maxf(maxY, p.Hi)
 		}
 	}
 	var b strings.Builder
@@ -102,6 +113,44 @@ func (f *Figure) SVG(width, height int) string {
 	if f.YLabel != "" {
 		fmt.Fprintf(&b, `<text x="14" y="%s" text-anchor="middle" transform="rotate(-90 14 %s)">%s</text>`+"\n",
 			svgNum(marginT+plotH/2), svgNum(marginT+plotH/2), svgEsc(f.YLabel))
+	}
+	// Bands first, behind the lines: each renders as a closed polygon —
+	// the Hi edge left to right, then the Lo edge back. A band whose name
+	// matches a series shares that series' color.
+	for bi, bd := range f.Bands {
+		color := svgPalette[(len(f.Series)+bi)%len(svgPalette)]
+		for si, s := range f.Series {
+			if s.Name == bd.Name {
+				color = svgPalette[si%len(svgPalette)]
+				break
+			}
+		}
+		pts := make([]BandPoint, 0, len(bd.Points))
+		for _, p := range bd.Points {
+			if finite(p.X) && finite(p.Lo) && finite(p.Hi) {
+				pts = append(pts, p)
+			}
+		}
+		if len(pts) < 2 {
+			continue
+		}
+		var poly strings.Builder
+		for i, p := range pts {
+			if i > 0 {
+				poly.WriteByte(' ')
+			}
+			poly.WriteString(svgNum(px(p.X)))
+			poly.WriteByte(',')
+			poly.WriteString(svgNum(py(p.Hi)))
+		}
+		for i := len(pts) - 1; i >= 0; i-- {
+			poly.WriteByte(' ')
+			poly.WriteString(svgNum(px(pts[i].X)))
+			poly.WriteByte(',')
+			poly.WriteString(svgNum(py(pts[i].Lo)))
+		}
+		fmt.Fprintf(&b, `<polygon points="%s" fill="%s" fill-opacity="0.15" stroke="none"/>`+"\n",
+			poly.String(), color)
 	}
 	for si, s := range f.Series {
 		color := svgPalette[si%len(svgPalette)]

@@ -86,6 +86,69 @@ func TestSVGClampsTinyDimensions(t *testing.T) {
 	assertCleanSVG(t, out)
 }
 
+func TestSVGBandPolygon(t *testing.T) {
+	f := &Figure{Title: "band", XLabel: "x", YLabel: "y"}
+	f.Add("mean", 1, 10)
+	f.Add("mean", 2, 12)
+	f.AddBand("mean", 1, 9, 11)
+	f.AddBand("mean", 2, 10, 14)
+	out := f.SVG(400, 240)
+	if !strings.Contains(out, "<polygon") {
+		t.Errorf("band should render a polygon:\n%s", out)
+	}
+	// The band shares its same-named series' color and sits behind it.
+	if !strings.Contains(out, `fill="`+svgPalette[0]+`" fill-opacity="0.15"`) {
+		t.Errorf("band should reuse the matching series color at low opacity:\n%s", out)
+	}
+	if strings.Index(out, "<polygon") > strings.Index(out, "<polyline") {
+		t.Error("band polygon should be drawn before (behind) the series polyline")
+	}
+	assertCleanSVG(t, out)
+}
+
+// TestSVGBandExtendsRange checks band intervals widen the y axis: a Hi
+// above every series point must still sit inside the plot frame.
+func TestSVGBandExtendsRange(t *testing.T) {
+	f := &Figure{}
+	f.Add("mean", 1, 10)
+	f.Add("mean", 2, 10)
+	f.AddBand("mean", 1, 0, 100)
+	f.AddBand("mean", 2, 0, 100)
+	out := f.SVG(400, 240)
+	// With the band counted, the y axis spans 0..100; its top tick label
+	// must appear.
+	if !strings.Contains(out, ">100<") {
+		t.Errorf("y axis should stretch to the band's Hi=100:\n%s", out)
+	}
+	assertCleanSVG(t, out)
+}
+
+func TestSVGBandSkipsNonFinite(t *testing.T) {
+	f := &Figure{}
+	f.Add("mean", 1, 1)
+	f.Add("mean", 2, 2)
+	f.AddBand("mean", 1, 0.5, 1.5)
+	f.AddBand("mean", 2, math.NaN(), 2.5)
+	out := f.SVG(400, 240)
+	// Only one finite band point remains — not enough for a polygon.
+	if strings.Contains(out, "<polygon") {
+		t.Errorf("a band with <2 finite points must not render:\n%s", out)
+	}
+	assertCleanSVG(t, out)
+}
+
+// TestSVGNoBandsUnchanged pins that a band-free figure renders without
+// any polygon — the byte-level contract that adding Band support did not
+// disturb existing figures.
+func TestSVGNoBandsUnchanged(t *testing.T) {
+	f := &Figure{}
+	f.Add("s", 1, 1)
+	f.Add("s", 2, 2)
+	if out := f.SVG(400, 240); strings.Contains(out, "<polygon") {
+		t.Errorf("figure without bands must not emit polygons:\n%s", out)
+	}
+}
+
 // assertCleanSVG checks the shared output contract: well-delimited SVG with
 // no NaN/Inf coordinates anywhere.
 func assertCleanSVG(t *testing.T, out string) {

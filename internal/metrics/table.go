@@ -145,14 +145,33 @@ type Series struct {
 	Points []Point `json:"points"`
 }
 
+// BandPoint is one x position of a band: the shaded [Lo, Hi] interval at
+// that x.
+type BandPoint struct {
+	X  float64 `json:"x"`
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+}
+
+// Band is a shaded x-interval envelope, e.g. the mean±95%-CI region
+// around an aggregate series. A band whose Name matches a series is
+// drawn in that series' color (at low opacity, behind the lines).
+type Band struct {
+	Name   string      `json:"name"`
+	Points []BandPoint `json:"points"`
+}
+
 // Figure is plottable experiment output: one or more series over a shared
-// x-axis. Render produces a coarse ASCII plot; the underlying data can also
-// be exported via Table.
+// x-axis, optionally wrapped in shaded bands (confidence envelopes).
+// Render produces a coarse ASCII plot of the series; the SVG renderer
+// also draws the bands; the underlying series data can be exported via
+// Table.
 type Figure struct {
 	Title  string   `json:"title"`
 	XLabel string   `json:"xlabel"`
 	YLabel string   `json:"ylabel"`
 	Series []Series `json:"series"`
+	Bands  []Band   `json:"bands,omitempty"`
 }
 
 // Add appends a point to the named series, creating it if necessary.
@@ -164,6 +183,18 @@ func (f *Figure) Add(series string, x, y float64) {
 		}
 	}
 	f.Series = append(f.Series, Series{Name: series, Points: []Point{{X: x, Y: y}}})
+}
+
+// AddBand appends an interval point to the named band, creating it if
+// necessary.
+func (f *Figure) AddBand(band string, x, lo, hi float64) {
+	for i := range f.Bands {
+		if f.Bands[i].Name == band {
+			f.Bands[i].Points = append(f.Bands[i].Points, BandPoint{X: x, Lo: lo, Hi: hi})
+			return
+		}
+	}
+	f.Bands = append(f.Bands, Band{Name: band, Points: []BandPoint{{X: x, Lo: lo, Hi: hi}}})
 }
 
 // Table flattens the figure into a table with one row per x value and one

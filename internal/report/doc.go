@@ -18,6 +18,14 @@
 //   - manifest.json — every artifact indexed by path, SHA-256 content
 //     hash, and size, plus the generation parameters.
 //
+// With Options.Sensitivity, every selected experiment's registered knobs
+// are additionally swept over per-knob grids (KnobSpec.Grid: floor →
+// default → stretch, companions from KnobSpec.Requires applied), and the
+// tree gains a sensitivity layer: metric-vs-knob figures with ±95% CI
+// bands (figures/<ID>-sens-<knob>-<n>.svg), per-knob verdict tables, a
+// verdict-stability table per page, and a stable/fragile column in the
+// traceability matrix.
+//
 // Determinism is the core contract: Generate consumes only the harness
 // aggregation view (itself schedule-independent) and renders with fixed
 // formatting, so equal registries, ids, seeds, and scales produce
