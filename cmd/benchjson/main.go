@@ -123,8 +123,11 @@ func baseName(name string) string {
 // CheckAllocs enforces the allocation-regression gate: every benchmark
 // whose committed baseline reports 0 allocs/op must still report 0 (and
 // must still exist, with -benchmem on) in the current results. ns/op is
-// machine-dependent and deliberately not compared.
-func CheckAllocs(baseline, current []Result) error {
+// machine-dependent and deliberately not compared. Current benchmarks the
+// baseline does not know are not an error — they are returned (sorted, by
+// stripped identity) so callers can surface them as candidates for
+// pinning instead of silently skipping them.
+func CheckAllocs(baseline, current []Result) (newEntries []string, err error) {
 	cur := make(map[string]Result, len(current))
 	for _, r := range current {
 		key := r.Pkg + "\x00" + baseName(r.Name)
@@ -132,13 +135,15 @@ func CheckAllocs(baseline, current []Result) error {
 		// own trailing number, or a -cpu list) would let one silently
 		// shadow the other's regression — refuse rather than guess.
 		if prev, dup := cur[key]; dup {
-			return fmt.Errorf("benchjson: benchmarks %s and %s collapse to the same identity %s after suffix stripping; rename them or drop -cpu lists",
+			return nil, fmt.Errorf("benchjson: benchmarks %s and %s collapse to the same identity %s after suffix stripping; rename them or drop -cpu lists",
 				prev.Name, r.Name, baseName(r.Name))
 		}
 		cur[key] = r
 	}
+	known := make(map[string]bool, len(baseline))
 	var violations []string
 	for _, b := range baseline {
+		known[b.Pkg+"\x00"+baseName(b.Name)] = true
 		if b.AllocsOp == nil || *b.AllocsOp != 0 {
 			continue
 		}
@@ -157,10 +162,16 @@ func CheckAllocs(baseline, current []Result) error {
 		}
 	}
 	if len(violations) > 0 {
-		return fmt.Errorf("benchjson: allocation regression on the pinned hot paths:\n  %s",
+		return nil, fmt.Errorf("benchjson: allocation regression on the pinned hot paths:\n  %s",
 			strings.Join(violations, "\n  "))
 	}
-	return nil
+	for key := range cur {
+		if !known[key] {
+			newEntries = append(newEntries, strings.ReplaceAll(key, "\x00", " "))
+		}
+	}
+	sort.Strings(newEntries)
+	return newEntries, nil
 }
 
 func run(in io.Reader, outPath, checkPath string) error {
@@ -180,10 +191,14 @@ func run(in io.Reader, outPath, checkPath string) error {
 		if err := json.Unmarshal(data, &baseline); err != nil {
 			return fmt.Errorf("benchjson: baseline %s: %w", checkPath, err)
 		}
-		if err := CheckAllocs(baseline, results); err != nil {
+		newEntries, err := CheckAllocs(baseline, results)
+		if err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "benchjson: 0-alloc paths in %s hold\n", checkPath)
+		for _, name := range newEntries {
+			fmt.Fprintf(os.Stderr, "benchjson: new (not in baseline): %s\n", name)
+		}
 		if outPath == "" {
 			return nil
 		}

@@ -124,7 +124,7 @@ func TestCheckAllocsHolds(t *testing.T) {
 	baseline := []Result{allocResult("p", "BenchmarkTransportSend-64", 0)}
 	// Different GOMAXPROCS suffix on the runner must still match.
 	current := []Result{allocResult("p", "BenchmarkTransportSend-4", 0)}
-	if err := CheckAllocs(baseline, current); err != nil {
+	if _, err := CheckAllocs(baseline, current); err != nil {
 		t.Fatalf("CheckAllocs: %v", err)
 	}
 }
@@ -132,7 +132,7 @@ func TestCheckAllocsHolds(t *testing.T) {
 func TestCheckAllocsRegression(t *testing.T) {
 	baseline := []Result{allocResult("p", "BenchmarkTransportSend-8", 0)}
 	current := []Result{allocResult("p", "BenchmarkTransportSend-8", 2)}
-	err := CheckAllocs(baseline, current)
+	_, err := CheckAllocs(baseline, current)
 	if err == nil || !strings.Contains(err.Error(), "regressed from 0 to 2") {
 		t.Fatalf("err = %v, want regression", err)
 	}
@@ -140,7 +140,7 @@ func TestCheckAllocsRegression(t *testing.T) {
 
 func TestCheckAllocsMissingBenchmark(t *testing.T) {
 	baseline := []Result{allocResult("p", "BenchmarkTransportSend-8", 0)}
-	err := CheckAllocs(baseline, nil)
+	_, err := CheckAllocs(baseline, nil)
 	if err == nil || !strings.Contains(err.Error(), "missing") {
 		t.Fatalf("err = %v, want missing-benchmark failure", err)
 	}
@@ -151,11 +151,11 @@ func TestCheckAllocsIgnoresNonZeroBaselines(t *testing.T) {
 	// only 0-alloc paths gate.
 	baseline := []Result{allocResult("p", "BenchmarkOther-8", 3)}
 	current := []Result{allocResult("p", "BenchmarkOther-8", 9)}
-	if err := CheckAllocs(baseline, current); err != nil {
+	if _, err := CheckAllocs(baseline, current); err != nil {
 		t.Fatalf("CheckAllocs: %v", err)
 	}
 	// And a baseline without memory data pins nothing.
-	if err := CheckAllocs([]Result{{Pkg: "p", Name: "BenchmarkX-8"}}, nil); err != nil {
+	if _, err := CheckAllocs([]Result{{Pkg: "p", Name: "BenchmarkX-8"}}, nil); err != nil {
 		t.Fatalf("CheckAllocs: %v", err)
 	}
 }
@@ -185,8 +185,33 @@ func TestCheckAllocsRejectsCollapsingNames(t *testing.T) {
 		allocResult("p", "BenchmarkSend/batch-8", 0),
 		allocResult("p", "BenchmarkSend/batch-64", 0),
 	}
-	err := CheckAllocs(nil, current)
+	_, err := CheckAllocs(nil, current)
 	if err == nil || !strings.Contains(err.Error(), "collapse to the same identity") {
 		t.Fatalf("err = %v, want collapsing-name rejection", err)
+	}
+}
+
+// TestCheckAllocsReportsNewEntries pins the new-entry contract: current
+// benchmarks absent from the baseline are returned as candidates instead
+// of failing or vanishing silently.
+func TestCheckAllocsReportsNewEntries(t *testing.T) {
+	baseline := []Result{allocResult("p", "BenchmarkTransportSend-8", 0)}
+	current := []Result{
+		allocResult("p", "BenchmarkTransportSend-16", 0),
+		allocResult("p", "BenchmarkTransportSendTelemetryOn-16", 0),
+		allocResult("q", "BenchmarkKernelNew-4", 1),
+	}
+	newEntries, err := CheckAllocs(baseline, current)
+	if err != nil {
+		t.Fatalf("CheckAllocs: %v", err)
+	}
+	want := []string{"p BenchmarkTransportSendTelemetryOn", "q BenchmarkKernelNew"}
+	if len(newEntries) != len(want) {
+		t.Fatalf("newEntries = %v, want %v", newEntries, want)
+	}
+	for i := range want {
+		if newEntries[i] != want[i] {
+			t.Errorf("newEntries[%d] = %q, want %q", i, newEntries[i], want[i])
+		}
 	}
 }

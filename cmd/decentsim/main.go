@@ -18,6 +18,10 @@
 //	decentsim report -out docs/report -parallel 8 E06 E08
 //	decentsim report -sensitivity all  # + per-knob sensitivity pages
 //	decentsim report -sensitivity -grid-points 3 -scale 0.25 -seeds 1..2 all
+//	decentsim report -resources all    # + per-experiment Resources appendix
+//	decentsim trace E06                # run once, write trace.json (chrome://tracing)
+//	decentsim trace -seed 3 -trace-limit 50000 -out e13.trace.json E13
+//	decentsim rep -n 5 -profile profiles E06   # per-run CPU/heap pprof files
 //
 // Every experiment E01–E19 registers sweepable knobs; -set accepts any
 // name listed in DESIGN.md's knob table (unknown names are rejected with
@@ -39,6 +43,7 @@ import (
 	"os"
 	"slices"
 	"strings"
+	"time"
 
 	decent "repro"
 )
@@ -67,6 +72,10 @@ type options struct {
 	sensitivity bool
 	gridPoints  int
 	drift       string
+
+	resources  bool
+	profile    string
+	traceLimit int
 }
 
 // knobFlags collects repeatable -set name=v1,v2 knob specifications.
@@ -110,6 +119,9 @@ func (o *options) register(fs *flag.FlagSet) {
 	fs.BoolVar(&o.sensitivity, "sensitivity", o.sensitivity, "report: sweep every registered knob over its default grid and render per-knob sensitivity pages")
 	fs.IntVar(&o.gridPoints, "grid-points", o.gridPoints, "report: swept values per knob grid (default 5; needs -sensitivity)")
 	fs.StringVar(&o.drift, "drift", o.drift, "rep: also write per-scenario headline-metric drift bounds (mean/stddev/95% CI) as JSON to this file")
+	fs.BoolVar(&o.resources, "resources", o.resources, "report: attach run telemetry and render a per-experiment Resources appendix plus resources/host.json")
+	fs.StringVar(&o.profile, "profile", o.profile, "sweep/rep/report: write per-run CPU and heap pprof profiles into this directory")
+	fs.IntVar(&o.traceLimit, "trace-limit", o.traceLimit, "trace: event buffer limit (default 100000; overflow is counted, not stored)")
 }
 
 func run(args []string, out io.Writer) error {
@@ -121,7 +133,7 @@ func run(args []string, out io.Writer) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return errors.New("expected a command: list | run <ids|all> | sweep <ids|all> | rep <ids|all> | report <ids|all>")
+		return errors.New("expected a command: list | run <ids|all> | sweep <ids|all> | rep <ids|all> | report <ids|all> | trace <id>")
 	}
 	cmd, rest := rest[0], rest[1:]
 	// Subcommand flags: re-register over the already-parsed values so
@@ -143,34 +155,55 @@ func run(args []string, out io.Writer) error {
 			"seeds":       "use the sweep or rep subcommand for multi-seed runs",
 			"scales":      "use the sweep subcommand to cross scales",
 			"n":           "use the rep subcommand for replications",
-			"out":         "only the report subcommand writes a directory tree",
+			"out":         "only the report and trace subcommands write output files",
 			"sensitivity": "only the report subcommand renders sensitivity pages",
 			"grid-points": "only the report subcommand sweeps knob grids",
 			"drift":       "only the rep subcommand writes drift bounds",
+			"resources":   "only the report subcommand renders the resources appendix",
+			"profile":     "only the sweep, rep, and report subcommands run on the profiled harness",
+			"trace-limit": "only the trace subcommand buffers an event trace",
 		},
 		"sweep": {
 			"seed":        "use -seeds to choose sweep seeds",
 			"n":           "use -seeds, or the rep subcommand",
-			"out":         "only the report subcommand writes a directory tree",
+			"out":         "only the report and trace subcommands write output files",
 			"sensitivity": "only the report subcommand renders sensitivity pages",
 			"grid-points": "only the report subcommand sweeps knob grids",
 			"drift":       "only the rep subcommand writes drift bounds",
+			"resources":   "only the report subcommand renders the resources appendix",
+			"trace-limit": "only the trace subcommand buffers an event trace",
 		},
 		"rep": {
 			"seed":        "use -seeds or -n to choose replication seeds",
 			"scales":      "rep replicates one scenario; use sweep to cross scales",
-			"out":         "only the report subcommand writes a directory tree",
+			"out":         "only the report and trace subcommands write output files",
 			"sensitivity": "only the report subcommand renders sensitivity pages",
 			"grid-points": "only the report subcommand sweeps knob grids",
+			"resources":   "only the report subcommand renders the resources appendix",
+			"trace-limit": "only the trace subcommand buffers an event trace",
 		},
 		"report": {
-			"seed":   "use -seeds to choose the replication seeds",
-			"n":      "use -seeds to choose the replication seeds",
-			"scales": "the report runs one scale; use -scale",
-			"csv":    "the report is a markdown/SVG/JSON directory tree",
-			"json":   "the report is a markdown/SVG/JSON directory tree",
-			"set":    "the report documents baseline runs; use -sensitivity for knob grids, or sweep",
-			"drift":  "only the rep subcommand writes drift bounds",
+			"seed":        "use -seeds to choose the replication seeds",
+			"n":           "use -seeds to choose the replication seeds",
+			"scales":      "the report runs one scale; use -scale",
+			"csv":         "the report is a markdown/SVG/JSON directory tree",
+			"json":        "the report is a markdown/SVG/JSON directory tree",
+			"set":         "the report documents baseline runs; use -sensitivity for knob grids, or sweep",
+			"drift":       "only the rep subcommand writes drift bounds",
+			"trace-limit": "only the trace subcommand buffers an event trace",
+		},
+		"trace": {
+			"seeds":       "trace records one run; use -seed",
+			"scales":      "trace records one run; use -scale",
+			"n":           "trace records one run",
+			"parallel":    "trace records one run in-process",
+			"csv":         "trace writes Chrome trace-event JSON",
+			"json":        "trace writes Chrome trace-event JSON",
+			"sensitivity": "only the report subcommand renders sensitivity pages",
+			"grid-points": "only the report subcommand sweeps knob grids",
+			"drift":       "only the rep subcommand writes drift bounds",
+			"resources":   "only the report subcommand renders the resources appendix",
+			"profile":     "only the sweep, rep, and report subcommands run on the profiled harness",
 		},
 	}
 	if cmd == "list" && len(provided) > 0 {
@@ -196,8 +229,16 @@ func run(args []string, out io.Writer) error {
 	if provided["grid-points"] && opts.gridPoints < 1 {
 		return fmt.Errorf("report: -grid-points must be >= 1 (got %d)", opts.gridPoints)
 	}
-	if cmd == "run" && opts.seed < 1 {
-		return fmt.Errorf("run: -seed must be >= 1 (got %d)", opts.seed)
+	if (cmd == "run" || cmd == "trace") && opts.seed < 1 {
+		return fmt.Errorf("%s: -seed must be >= 1 (got %d)", cmd, opts.seed)
+	}
+	if provided["trace-limit"] && opts.traceLimit < 1 {
+		return fmt.Errorf("trace: -trace-limit must be >= 1 (got %d)", opts.traceLimit)
+	}
+	// The two file-writing commands share -out but not a sensible default:
+	// report writes a tree, trace a single JSON file.
+	if cmd == "trace" && !provided["out"] {
+		opts.out = "trace.json"
 	}
 	// core.Config would silently remap scale <= 0 to 1 while reports
 	// label the group with the raw value — reject up front instead.
@@ -227,8 +268,10 @@ func run(args []string, out io.Writer) error {
 		return sweepCmd(out, reg, &opts, ids, true)
 	case "report":
 		return reportCmd(out, reg, &opts, ids)
+	case "trace":
+		return traceCmd(out, reg, &opts, ids)
 	default:
-		return fmt.Errorf("unknown command %q (want list | run | sweep | rep | report)", cmd)
+		return fmt.Errorf("unknown command %q (want list | run | sweep | rep | report | trace)", cmd)
 	}
 }
 
@@ -392,6 +435,13 @@ func reportCmd(out io.Writer, reg *decent.Registry, opts *options, ids []string)
 		Workers:     opts.parallel,
 		Sensitivity: opts.sensitivity,
 		GridPoints:  opts.gridPoints,
+		Resources:   opts.resources,
+		ProfileDir:  opts.profile,
+	}
+	if opts.profile != "" {
+		if err := os.MkdirAll(opts.profile, 0o755); err != nil {
+			return fmt.Errorf("report: %w", err)
+		}
 	}
 	if opts.seeds != "" {
 		if ropts.Seeds, err = decent.ParseSeeds(opts.seeds); err != nil {
@@ -415,10 +465,13 @@ func reportCmd(out io.Writer, reg *decent.Registry, opts *options, ids []string)
 
 // writeDrift exports per-scenario drift bounds: the headline metric
 // (first varying, else first) of every aggregate group with its
-// cross-seed mean, stddev and 95% CI. This is the compact artifact the
-// nightly soak workflow publishes, so metric drift across large seed
-// sets accumulates as a trajectory instead of a full report tree.
-func writeDrift(path string, report *decent.Report, seeds []int64) error {
+// cross-seed mean, stddev and 95% CI, plus one host-resource row per run
+// (wall time and live heap — machine-dependent by nature, tracked so the
+// nightly soak surfaces runtime and memory drift alongside metric
+// drift). This is the compact artifact the nightly soak workflow
+// publishes, so drift across large seed sets accumulates as a trajectory
+// instead of a full report tree.
+func writeDrift(path string, report *decent.Report, seeds []int64, results []decent.JobResult) error {
 	type driftMetric struct {
 		Experiment   string  `json:"experiment"`
 		Scale        float64 `json:"scale"`
@@ -432,10 +485,34 @@ func writeDrift(path string, report *decent.Report, seeds []int64) error {
 		Min          float64 `json:"min"`
 		Max          float64 `json:"max"`
 	}
+	type driftRun struct {
+		Experiment    string  `json:"experiment"`
+		Seed          int64   `json:"seed"`
+		Scale         float64 `json:"scale"`
+		WallNanos     int64   `json:"wall_ns"`
+		HeapLiveBytes uint64  `json:"heap_live_bytes"`
+	}
 	doc := struct {
 		Seeds int           `json:"seeds"`
 		Drift []driftMetric `json:"drift"`
-	}{Seeds: len(seeds), Drift: []driftMetric{}}
+		Runs  []driftRun    `json:"runs"`
+	}{Seeds: len(seeds), Drift: []driftMetric{}, Runs: []driftRun{}}
+	for _, jr := range results {
+		if jr.Err != nil {
+			continue
+		}
+		run := driftRun{
+			Experiment: strings.ToUpper(jr.Job.ExperimentID),
+			Seed:       jr.Job.Config.Seed,
+			Scale:      jr.Job.Config.Scale,
+			WallNanos:  int64(jr.Elapsed),
+		}
+		if jr.Host != nil {
+			run.WallNanos = jr.Host.WallNanos
+			run.HeapLiveBytes = jr.Host.HeapLiveBytes
+		}
+		doc.Runs = append(doc.Runs, run)
+	}
 	for _, g := range report.Groups {
 		m, ok := g.Headline()
 		if !ok {
@@ -508,12 +585,27 @@ func sweepCmd(out io.Writer, reg *decent.Registry, opts *options, ids []string, 
 	} else {
 		sweep.Scales = []float64{opts.scale}
 	}
-	report, err := decent.RunSweep(sweep, opts.parallel)
-	if err != nil {
+	if err := sweep.Validate(); err != nil {
 		return err
 	}
+	if opts.profile != "" {
+		if err := os.MkdirAll(opts.profile, 0o755); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	// Built directly (rather than through RunSweep) so the runner can
+	// carry the profiling and host-sampling hooks; aggregation is the
+	// same, so the report bytes are unchanged.
+	runner := decent.Runner{
+		Registry:   reg,
+		Workers:    opts.parallel,
+		ProfileDir: opts.profile,
+		SampleHost: rep && opts.drift != "",
+	}
+	results := runner.Run(sweep.Jobs())
+	report := decent.Aggregate(results)
 	if rep && opts.drift != "" {
-		if err := writeDrift(opts.drift, report, sweep.Seeds); err != nil {
+		if err := writeDrift(opts.drift, report, sweep.Seeds, results); err != nil {
 			return fmt.Errorf("rep: %w", err)
 		}
 	}
@@ -535,6 +627,73 @@ func sweepCmd(out io.Writer, reg *decent.Registry, opts *options, ids []string, 
 	}
 	if errs > 0 {
 		return fmt.Errorf("%s: %d run(s) errored (see report)", name, errs)
+	}
+	return nil
+}
+
+// traceCmd runs one experiment in-process with a telemetry collector and
+// event trace attached, writes the trace in Chrome trace-event JSON
+// (load it in chrome://tracing or Perfetto), and prints a telemetry
+// summary. Single-run by construction: a trace interleaving several runs
+// would be unreadable and the collector is per-run state.
+func traceCmd(out io.Writer, reg *decent.Registry, opts *options, ids []string) error {
+	ids, err := expandIDs(reg, ids)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if len(ids) != 1 {
+		return fmt.Errorf("trace: takes exactly one experiment id (got %d)", len(ids))
+	}
+	if err := rejectMultiValueKnobs("trace", opts.set.params); err != nil {
+		return err
+	}
+	// Reuse the sweep grid so knob ownership and bounds are validated by
+	// the same rule every other command uses.
+	grid := decent.Sweep{
+		Experiments: ids,
+		Seeds:       []int64{opts.seed},
+		Scales:      []float64{opts.scale},
+		Params:      opts.set.params,
+	}
+	if err := grid.Validate(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	jobs := grid.Jobs()
+	limit := opts.traceLimit
+	if limit <= 0 {
+		limit = decent.DefaultTraceLimit
+	}
+	col := decent.NewCollector(decent.WithTrace(limit))
+	cfg := jobs[0].Config
+	cfg.Obs = col
+	res, err := reg.Run(jobs[0].ExperimentID, cfg)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	f, err := os.Create(opts.out)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := col.Trace().WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	snap := col.Snapshot()
+	fmt.Fprintf(out, "trace: wrote %s (%d events, %d dropped)\n", opts.out, snap.TraceEvents, snap.TraceDropped)
+	fmt.Fprintf(out, "kernel: %d events fired, peak %d pending, virtual time %s\n",
+		snap.Sim.Fired, snap.Sim.MaxPending, time.Duration(snap.Sim.VirtualNano))
+	for _, c := range snap.Counters {
+		fmt.Fprintf(out, "counter %s = %d\n", c.Name, c.Total)
+	}
+	for _, h := range snap.Hists {
+		fmt.Fprintf(out, "histogram %s: n=%d p50=%s p99=%s\n",
+			h.Name, h.Count, time.Duration(h.P50), time.Duration(h.P99))
+	}
+	if !res.Reproduced() {
+		fmt.Fprintf(out, "note: %s failed its shape checks on this run\n", res.ID)
 	}
 	return nil
 }

@@ -526,3 +526,169 @@ func TestReportWritesDeterministicTree(t *testing.T) {
 		t.Error("report tree lacks manifest.json")
 	}
 }
+
+// TestTraceWritesChromeTrace runs the trace subcommand end to end: a
+// transport-driving experiment produces a valid Chrome trace-event
+// document plus a telemetry summary on stdout, and identical invocations
+// produce identical bytes.
+func TestTraceWritesChromeTrace(t *testing.T) {
+	pathA := filepath.Join(t.TempDir(), "a.json")
+	pathB := filepath.Join(t.TempDir(), "b.json")
+	var outA, outB bytes.Buffer
+	if err := run([]string{"trace", "-scale", "0.25", "-out", pathA, "E02"}, &outA); err != nil {
+		t.Fatalf("trace: %v\n%s", err, outA.String())
+	}
+	if err := run([]string{"trace", "-scale", "0.25", "-out", pathB, "E02"}, &outB); err != nil {
+		t.Fatalf("trace rerun: %v", err)
+	}
+	a, err := os.ReadFile(pathA)
+	if err != nil {
+		t.Fatalf("read trace: %v", err)
+	}
+	b, err := os.ReadFile(pathB)
+	if err != nil {
+		t.Fatalf("read trace rerun: %v", err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("trace bytes differ between identical invocations")
+	}
+	normA := strings.ReplaceAll(outA.String(), pathA, "OUT")
+	normB := strings.ReplaceAll(outB.String(), pathB, "OUT")
+	if normA != normB {
+		t.Errorf("summaries differ:\n%s\n%s", normA, normB)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			PID  int     `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" || len(doc.TraceEvents) == 0 {
+		t.Fatalf("trace doc shape wrong: unit %q, %d events", doc.DisplayTimeUnit, len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0].PID != 1 {
+		t.Errorf("trace events must use pid 1, got %d", doc.TraceEvents[0].PID)
+	}
+	for _, want := range []string{"trace: wrote", "kernel:", "counter net.msgs_sent", "histogram net.delivery_delay_ns"} {
+		if !strings.Contains(outA.String(), want) {
+			t.Errorf("summary lacks %q:\n%s", want, outA.String())
+		}
+	}
+}
+
+func TestTraceRequiresSingleExperiment(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"trace", "E01", "E02"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "exactly one") {
+		t.Fatalf("err = %v, want exactly-one rejection", err)
+	}
+}
+
+func TestTraceRejectsInapplicableFlags(t *testing.T) {
+	var out bytes.Buffer
+	for _, tc := range [][]string{
+		{"trace", "-seeds", "1..3", "E02"},
+		{"trace", "-parallel", "4", "E02"},
+		{"trace", "-json", "E02"},
+		{"run", "-trace-limit", "10", "E01"},
+		{"report", "-trace-limit", "10", "E01"},
+		{"trace", "-resources", "E02"},
+		{"run", "-resources", "E01"},
+	} {
+		if err := run(tc, &out); err == nil || !strings.Contains(err.Error(), "does not apply") {
+			t.Errorf("%v: err = %v, want inapplicable-flag rejection", tc, err)
+		}
+	}
+}
+
+func TestTraceLimitCountsDrops(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.json")
+	var out bytes.Buffer
+	if err := run([]string{"trace", "-scale", "0.25", "-trace-limit", "10", "-out", path, "E02"}, &out); err != nil {
+		t.Fatalf("trace -trace-limit: %v", err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 10 {
+		t.Errorf("trace has %d events, want the 10-event limit", len(doc.TraceEvents))
+	}
+	if !strings.Contains(out.String(), "dropped)") || strings.Contains(out.String(), "(10 events, 0 dropped)") {
+		t.Errorf("summary should report nonzero drops:\n%s", out.String())
+	}
+}
+
+// TestRepDriftIncludesHostRuns checks the soak artifact's host-resource
+// rows: one per completed run, with positive wall time.
+func TestRepDriftIncludesHostRuns(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "drift.json")
+	var out bytes.Buffer
+	if err := run([]string{"rep", "-n", "2", "-scale", "0.25", "-drift", path, "E11"}, &out); err != nil {
+		t.Fatalf("rep -drift: %v", err)
+	}
+	var doc struct {
+		Runs []struct {
+			Experiment    string `json:"experiment"`
+			Seed          int64  `json:"seed"`
+			WallNanos     int64  `json:"wall_ns"`
+			HeapLiveBytes uint64 `json:"heap_live_bytes"`
+		} `json:"runs"`
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read drift: %v", err)
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("drift JSON: %v", err)
+	}
+	if len(doc.Runs) != 2 {
+		t.Fatalf("drift has %d host runs, want 2: %+v", len(doc.Runs), doc.Runs)
+	}
+	for i, r := range doc.Runs {
+		if r.Experiment != "E11" || r.Seed != int64(i+1) || r.WallNanos <= 0 {
+			t.Errorf("host run %d = %+v", i, r)
+		}
+	}
+}
+
+// TestReportResourcesTree checks the CLI wiring of -resources: the tree
+// gains Resources appendices and a volatile host.json, and -profile
+// drops pprof files alongside.
+func TestReportResourcesTree(t *testing.T) {
+	dir := t.TempDir()
+	profDir := filepath.Join(t.TempDir(), "profiles")
+	var out bytes.Buffer
+	args := []string{"report", "-resources", "-profile", profDir, "-out", dir,
+		"-seeds", "1", "-scale", "0.25", "E02"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("report -resources: %v\n%s", err, out.String())
+	}
+	page, err := os.ReadFile(filepath.Join(dir, "experiments", "E02.md"))
+	if err != nil {
+		t.Fatalf("read page: %v", err)
+	}
+	if !bytes.Contains(page, []byte("## Resources")) {
+		t.Error("page lacks the Resources appendix")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "resources", "host.json")); err != nil {
+		t.Errorf("missing host.json: %v", err)
+	}
+	for _, want := range []string{"E02-s1.cpu.pprof", "E02-s1.heap.pprof"} {
+		if fi, err := os.Stat(filepath.Join(profDir, want)); err != nil || fi.Size() == 0 {
+			t.Errorf("missing or empty profile %s: %v", want, err)
+		}
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/harness"
 	"repro/internal/netmodel"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/sim"
 )
@@ -145,6 +146,57 @@ const (
 	TransportRetryDelay = netmodel.DefaultRetryDelay
 	TransportPacing     = netmodel.DefaultPacing
 )
+
+// Telemetry re-exports — the zero-cost-when-off run-telemetry layer.
+// Attach a Collector to a run (Config.Obs, or NewObservedSim for custom
+// scenarios) and the kernel plus every instrumented subsystem record
+// counters, streaming latency histograms, and optionally a Chrome
+// trace-event log into it. A nil Collector is the off switch: every
+// recording call is a nil-receiver no-op and the hot paths stay
+// allocation-free.
+
+// Collector gathers one run's telemetry: named counters and gauges,
+// constant-memory streaming histograms, kernel statistics, and an
+// optional bounded event trace.
+type Collector = obs.Collector
+
+// CollectorOption configures a Collector.
+type CollectorOption = obs.Option
+
+// NewCollector builds a telemetry collector. Without options it records
+// counters, gauges, and histograms; add WithTrace to also buffer events.
+func NewCollector(opts ...CollectorOption) *Collector {
+	return obs.NewCollector(opts...)
+}
+
+// WithTrace enables the event trace with the given buffer limit (<= 0
+// means DefaultTraceLimit); once full, further events increment a drop
+// counter instead of growing memory.
+var WithTrace = obs.WithTrace
+
+// DefaultTraceLimit is the default event-trace buffer size.
+const DefaultTraceLimit = obs.DefaultTraceLimit
+
+// TelemetrySnapshot is a Collector's deterministic end-of-run summary:
+// kernel statistics plus sorted counter, gauge, and histogram views.
+type TelemetrySnapshot = obs.Snapshot
+
+// Trace is the bounded event log a Collector buffers when built with
+// WithTrace; WriteJSON renders it in Chrome trace-event format
+// (chrome://tracing, Perfetto).
+type Trace = obs.Trace
+
+// HostSample carries host-side run measurements (wall time, heap, alloc
+// deltas). These are machine facts: they ride on JobResult and the
+// report's volatile resources/host.json, never on deterministic output.
+type HostSample = obs.HostSample
+
+// NewObservedSim builds a simulator with a telemetry collector attached:
+// the kernel reports event and queue statistics to it, and transports
+// built on the sim auto-register their instruments.
+func NewObservedSim(seed int64, col *Collector) *Sim {
+	return sim.New(sim.WithSeed(seed), sim.WithObserver(col))
+}
 
 // Experiments returns the full registry (E01–E19) in paper order.
 func Experiments() (*Registry, error) {

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // Config controls an experiment run.
@@ -22,6 +23,13 @@ type Config struct {
 	// knobs fall back to the experiment's documented default, so a nil
 	// map reproduces the baseline run exactly.
 	Params map[string]float64 `json:"params,omitempty"`
+	// Obs, when non-nil, is the run's telemetry collector: experiments
+	// attach it to the kernels they build, and instrumented subsystems
+	// record counters, histograms and (optionally) an event trace into
+	// it. Nil means telemetry off — the documented zero-cost default.
+	// Collectors are per-run state, never part of the configuration
+	// identity, so the field is excluded from marshalled output.
+	Obs *obs.Collector `json:"-"`
 }
 
 // WithDefaults fills zero fields.

@@ -13,7 +13,27 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/netmodel"
+	"repro/internal/sim"
 )
+
+// newSim builds the run's kernel: seeded from the config and, when the
+// config carries a telemetry collector, observed by it — every subsystem
+// constructed on the kernel (the netmodel transport in particular) then
+// discovers the collector via sim.Observer and registers its instruments.
+// Runners must create kernels through this helper (or newSimSeed) so
+// telemetry threads through every experiment uniformly.
+func newSim(cfg core.Config) *sim.Sim {
+	return newSimSeed(cfg, cfg.Seed)
+}
+
+// newSimSeed is newSim with an explicit seed, for runners that derive
+// secondary kernels (e.g. a control run at seed+1).
+func newSimSeed(cfg core.Config, seed int64) *sim.Sim {
+	if cfg.Obs == nil {
+		return sim.New(sim.WithSeed(seed))
+	}
+	return sim.New(sim.WithSeed(seed), sim.WithObserver(cfg.Obs))
+}
 
 // exp is the shared experiment scaffold. section is the stable paper
 // section tag (core.Sectioned) the reproduction report groups claims by;

@@ -8,7 +8,6 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netmodel"
 	"repro/internal/pow"
-	"repro/internal/sim"
 )
 
 // e19GeoPartitionedPoW stresses the assumption every permissionless claim
@@ -56,7 +55,7 @@ func e19GeoPartitionedPoW() core.Experiment {
 			}
 			run := func(partition bool) (outcome, error) {
 				var out outcome
-				s := sim.New(sim.WithSeed(cfg.Seed))
+				s := newSim(cfg)
 				nm := netmodel.New(s, netmodel.WithJitter(0.1), netmodel.WithLoss(loss))
 				addrs, err := nm.BuildTopology(netmodel.TopologySpec{Nodes: miners, Mix: mix})
 				if err != nil {

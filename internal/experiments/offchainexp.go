@@ -50,7 +50,7 @@ func e18OffChain() core.Experiment {
 					if err != nil {
 						return nil, err
 					}
-					s := sim.New(sim.WithSeed(cfg.Seed))
+					s := newSim(cfg)
 					nm := netmodel.New(s, netmodel.WithJitter(0.1))
 					addrs, err := nm.BuildTopology(netmodel.TopologySpec{Nodes: nodes, Mix: mix})
 					if err != nil {

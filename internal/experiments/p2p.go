@@ -16,7 +16,6 @@ import (
 	"repro/internal/overlay/kademlia"
 	"repro/internal/overlay/onehop"
 	"repro/internal/randdist"
-	"repro/internal/sim"
 	"repro/internal/sybil"
 	"repro/internal/workload"
 )
@@ -30,7 +29,7 @@ func e01Market() core.Experiment {
 		title:   "Market concentration under preferential attachment",
 		claim:   "§I: >75% of the CDN market is controlled by three providers; five cloud providers hold ~60%; Amazon alone ~33% — a natural effect of preferential attachment.",
 		run: func(cfg core.Config, r *core.Result) error {
-			s := sim.New(sim.WithSeed(cfg.Seed))
+			s := newSim(cfg)
 			tab := metrics.NewTable("market concentration (simulated)",
 				"market", "providers", "top1", "top3", "top5", "HHI", "gini")
 			type scenario struct {
@@ -85,7 +84,7 @@ func e02FreeRiding() core.Experiment {
 		title:   "Free riding in unstructured overlays and the tit-for-tat fix",
 		claim:   "§II-B P1: free riding was extensively reported on Gnutella (most peers share nothing; a tiny minority serves most requests); BitTorrent's tit-for-tat enforces reciprocity, but only during the download.",
 		run: func(cfg core.Config, r *core.Result) error {
-			s := sim.New(sim.WithSeed(cfg.Seed))
+			s := newSim(cfg)
 			nm := netmodel.New(s, netmodel.WithJitter(0.1))
 			n, err := scaledSize(cfg, "e02.peers")
 			if err != nil {
@@ -220,7 +219,7 @@ func e03DHTLookup() core.Experiment {
 				return err
 			}
 			measure := func(kcfg kademlia.Config, name string) (*metrics.Sample, float64, error) {
-				s := sim.New(sim.WithSeed(cfg.Seed))
+				s := newSim(cfg)
 				nm := netmodel.New(s, netmodel.WithJitter(0.2))
 				nw := kademlia.NewNetwork(s, nm, kcfg)
 				for i := 0; i < n; i++ {
@@ -305,7 +304,7 @@ func e04Sybil() core.Experiment {
 			var fracs []float64
 			for _, pct := range []float64{0.05, 0.2, 0.5} {
 				ids := int(pct * float64(honest))
-				s := sim.New(sim.WithSeed(cfg.Seed))
+				s := newSim(cfg)
 				nm := netmodel.New(s, netmodel.WithJitter(0.1))
 				nw := kademlia.NewNetwork(s, nm, kademlia.Config{K: 8, Alpha: 3, UnresponsiveFrac: 0})
 				for i := 0; i < honest; i++ {
@@ -340,7 +339,7 @@ func e04Sybil() core.Experiment {
 			r.Figures = append(r.Figures, fig)
 
 			// Targeted eclipse with a handful of identities.
-			s := sim.New(sim.WithSeed(cfg.Seed + 1))
+			s := newSimSeed(cfg, cfg.Seed+1)
 			nm := netmodel.New(s, netmodel.WithJitter(0.1))
 			nw := kademlia.NewNetwork(s, nm, kademlia.Config{K: 8, Alpha: 3, UnresponsiveFrac: 0})
 			for i := 0; i < honest; i++ {
@@ -403,7 +402,7 @@ func e05OneHop() core.Experiment {
 				return err
 			}
 			// Chord: hops and latency.
-			s := sim.New(sim.WithSeed(cfg.Seed))
+			s := newSim(cfg)
 			nm := netmodel.New(s, netmodel.WithJitter(0.1))
 			cnw := chord.NewNetwork(s, nm, chord.Config{})
 			for i := 0; i < n; i++ {
@@ -428,7 +427,7 @@ func e05OneHop() core.Experiment {
 				return err
 			}
 			// One-hop: attempts and latency.
-			s2 := sim.New(sim.WithSeed(cfg.Seed))
+			s2 := newSim(cfg)
 			nm2 := netmodel.New(s2, netmodel.WithJitter(0.1))
 			onw := onehop.NewNetwork(s2, nm2, onehop.Config{})
 			for i := 0; i < n; i++ {
@@ -521,7 +520,7 @@ func e15Churn() core.Experiment {
 			fig := &metrics.Figure{Title: "churn impact", XLabel: "mean session (min)", YLabel: "median latency (s)"}
 			var successes, latencies, touts []float64
 			for _, session := range []time.Duration{2 * time.Hour, 30 * time.Minute, minSession} {
-				s := sim.New(sim.WithSeed(cfg.Seed))
+				s := newSim(cfg)
 				nm := netmodel.New(s, netmodel.WithJitter(0.1))
 				nw := kademlia.NewNetwork(s, nm, kademlia.Config{
 					K: 8, Alpha: 3, RPCTimeout: 2 * time.Second, UnresponsiveFrac: 0,

@@ -37,7 +37,7 @@ func e13PermissionedVsPoW() core.Experiment {
 			var pbft4TPS, pbft4Mean float64
 			var pbftMeanLat time.Duration
 			for _, n := range []int{4, 16} {
-				s := sim.New(sim.WithSeed(cfg.Seed))
+				s := newSim(cfg)
 				nm := netmodel.New(s, netmodel.WithJitter(0.1))
 				cl, err := pbft.NewCluster(s, nm, n, netmodel.Europe, pbft.Config{
 					BatchSize:    knobInt(cfg, "e13.batch"),
@@ -61,7 +61,7 @@ func e13PermissionedVsPoW() core.Experiment {
 			var raftTPS float64
 			{
 				raftN := knobInt(cfg, "e13.raftnodes")
-				s := sim.New(sim.WithSeed(cfg.Seed))
+				s := newSim(cfg)
 				nm := netmodel.New(s, netmodel.WithJitter(0.1))
 				cl, err := raft.NewCluster(s, nm, raftN, netmodel.Europe, raft.Config{})
 				if err != nil {
@@ -131,7 +131,7 @@ func e14EdgeVsCloud() core.Experiment {
 
 			// The trust layer: a permissioned audit channel among edge
 			// operators; measure commit latency of audit records.
-			s := sim.New(sim.WithSeed(cfg.Seed))
+			s := newSim(cfg)
 			nm := netmodel.New(s, netmodel.WithJitter(0.1))
 			nw, err := permissioned.NewNetwork(s, nm, permissioned.Config{BlockSize: 20})
 			if err != nil {
@@ -224,7 +224,7 @@ func e16Channels() core.Experiment {
 
 			// Scenario A: four 3-org channels, each carrying its own load.
 			run := func(channels int) (perPeerMean float64, total int, err error) {
-				s := sim.New(sim.WithSeed(cfg.Seed))
+				s := newSim(cfg)
 				nm := netmodel.New(s, netmodel.WithJitter(0.1))
 				nw, err := permissioned.NewNetwork(s, nm, permissioned.Config{BlockSize: blockSize})
 				if err != nil {

@@ -32,7 +32,7 @@ func e06Throughput() core.Experiment {
 			tab.AddRowf("ethereum", "8M gas / 14s, global broadcast", eth.TPS(), "~15")
 
 			// Measured: an actual PoW mining run with Bitcoin parameters.
-			s := sim.New(sim.WithSeed(cfg.Seed))
+			s := newSim(cfg)
 			nw, err := pow.NewNetwork(s, pow.Params{
 				BlockInterval:     10 * time.Minute,
 				BlockSize:         1_000_000,
@@ -56,7 +56,7 @@ func e06Throughput() core.Experiment {
 
 			// Cloud baseline: a sharded cluster absorbing VISA's load.
 			shards := knobInt(cfg, "e06.shards")
-			s2 := sim.New(sim.WithSeed(cfg.Seed))
+			s2 := newSim(cfg)
 			cluster, err := cloudbase.NewCluster(s2, cloudbase.Config{
 				Shards:         shards,
 				ServiceTime:    time.Millisecond,
@@ -98,7 +98,7 @@ func e07Difficulty() core.Experiment {
 		title:   "Difficulty retargeting under exponential hashpower growth",
 		claim:   "§III-A: the difficulty target is periodically adjusted in such a way that a new block is generated every 10 minutes.",
 		run: func(cfg core.Config, r *core.Result) error {
-			s := sim.New(sim.WithSeed(cfg.Seed))
+			s := newSim(cfg)
 			const target = 10 * time.Minute
 			// The retarget window scales with the run so adjustment lag
 			// stays proportional at reduced scales.
@@ -184,7 +184,7 @@ func e08ForkRate() core.Experiment {
 			fig := &metrics.Figure{Title: "stale rate", XLabel: "propagation/interval", YLabel: "stale rate"}
 			var rates []float64
 			for _, interval := range []time.Duration{600 * time.Second, 60 * time.Second, 12 * time.Second} {
-				s := sim.New(sim.WithSeed(cfg.Seed))
+				s := newSim(cfg)
 				params := pow.Params{
 					BlockInterval:     interval,
 					BlockSize:         1_000_000,

@@ -178,7 +178,7 @@ type broadcast struct {
 	start    time.Duration
 	done     func(*Spread)
 	finished bool
-	timeout  *sim.Event
+	timeout  sim.Handle
 }
 
 func (b *broadcast) visit(node int) {

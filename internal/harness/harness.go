@@ -3,11 +3,16 @@ package harness
 import (
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Job is one experiment execution: an experiment id plus the full run
@@ -18,13 +23,18 @@ type Job struct {
 }
 
 // JobResult pairs a job with its outcome. Exactly one of Result and Err is
-// set. Elapsed is wall-clock time for this run only; it is deliberately
-// excluded from marshalled output so aggregates stay byte-reproducible.
+// set. Elapsed is wall-clock time for this run only; it and the Host
+// sample are deliberately excluded from marshalled output so aggregates
+// stay byte-reproducible — host measurements are machine facts, not run
+// facts.
 type JobResult struct {
 	Job     Job           `json:"job"`
 	Result  *core.Result  `json:"result,omitempty"`
 	Err     error         `json:"-"`
 	Elapsed time.Duration `json:"-"`
+	// Host carries the run's host-resource sample when the Runner has
+	// SampleHost set; nil otherwise.
+	Host *obs.HostSample `json:"-"`
 }
 
 // Runner executes experiment jobs on a bounded worker pool.
@@ -38,9 +48,25 @@ type Runner struct {
 	// but arrive in completion order, not job order — consumers that
 	// stream output should buffer until their next index is complete.
 	OnResult func(i int, r JobResult)
+	// SampleHost, when set, attaches an obs.HostSample (wall time, live
+	// heap, allocation deltas) to every JobResult. With parallel workers
+	// the process-wide deltas include neighbouring runs; samples are
+	// indicative, never part of deterministic output.
+	SampleHost bool
+	// ProfileDir, when non-empty, writes per-job CPU and heap profiles
+	// (<experiment>-s<seed>.cpu.pprof / .heap.pprof) into the directory.
+	// CPU profiling is process-global, so profiled jobs serialize on an
+	// internal lock: use a single worker or expect reduced parallelism
+	// when profiling.
+	ProfileDir string
 
 	mu sync.Mutex
 }
+
+// profileMu serializes pprof capture across all Runners in the process:
+// pprof.StartCPUProfile is process-global and fails if a profile is
+// already active.
+var profileMu sync.Mutex
 
 func (r *Runner) workers(jobs int) int {
 	w := r.Workers
@@ -97,9 +123,53 @@ func (r *Runner) runOne(j Job) JobResult {
 		return JobResult{Job: j, Err: fmt.Errorf(
 			"harness: job scale %g must be a finite positive number", j.Config.Scale)}
 	}
+	var watch *obs.HostWatch
+	if r.SampleHost {
+		watch = obs.StartHostWatch()
+	}
 	start := time.Now()
-	res, err := r.Registry.Run(j.ExperimentID, j.Config)
-	return JobResult{Job: j, Result: res, Err: err, Elapsed: time.Since(start)}
+	var res *core.Result
+	var err error
+	if r.ProfileDir != "" {
+		res, err = r.runProfiled(j)
+	} else {
+		res, err = r.Registry.Run(j.ExperimentID, j.Config)
+	}
+	out := JobResult{Job: j, Result: res, Err: err, Elapsed: time.Since(start)}
+	if watch != nil {
+		s := watch.Sample()
+		out.Host = &s
+	}
+	return out
+}
+
+// runProfiled wraps one run in CPU and heap profile capture. Profile
+// failures fail the job: a requested-but-missing profile is worse than a
+// loud error.
+func (r *Runner) runProfiled(j Job) (*core.Result, error) {
+	profileMu.Lock()
+	defer profileMu.Unlock()
+	stem := filepath.Join(r.ProfileDir, fmt.Sprintf("%s-s%d", strings.ToUpper(j.ExperimentID), j.Config.Seed))
+	cpuF, err := os.Create(stem + ".cpu.pprof")
+	if err != nil {
+		return nil, fmt.Errorf("harness: create cpu profile: %w", err)
+	}
+	defer cpuF.Close()
+	if err := pprof.StartCPUProfile(cpuF); err != nil {
+		return nil, fmt.Errorf("harness: start cpu profile: %w", err)
+	}
+	res, runErr := r.Registry.Run(j.ExperimentID, j.Config)
+	pprof.StopCPUProfile()
+	heapF, err := os.Create(stem + ".heap.pprof")
+	if err != nil {
+		return nil, fmt.Errorf("harness: create heap profile: %w", err)
+	}
+	defer heapF.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(heapF); err != nil {
+		return nil, fmt.Errorf("harness: write heap profile: %w", err)
+	}
+	return res, runErr
 }
 
 // RunParallel runs jobs against reg with the given worker count (<=0 means

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -98,6 +99,19 @@ type Net struct {
 	bytesSent  []int64
 	bytesRecvd []int64
 	msgsSent   []int64
+
+	// telemetry instruments (observe.go); all nil when the run has no
+	// collector, in which case every recording call is a nil-receiver
+	// no-op on the hot path.
+	col            *obs.Collector
+	cSent          *obs.Counter
+	cDelivered     *obs.Counter
+	cDropLoss      *obs.Counter
+	cDropDown      *obs.Counter
+	cDropPartition *obs.Counter
+	cDropInFlight  *obs.Counter
+	hDelay         *obs.Histogram
+	trace          *obs.Trace
 }
 
 type nodeState struct {
@@ -132,6 +146,9 @@ func New(s *sim.Sim, opts ...Option) *Net {
 	for _, opt := range opts {
 		opt(n)
 	}
+	if col := s.Observer(); col != nil {
+		n.observe(col)
+	}
 	return n
 }
 
@@ -151,6 +168,7 @@ func (n *Net) AddNodeLink(region Region, uplinkBps, downlinkBps float64) NodeID 
 	n.bytesSent = append(n.bytesSent, 0)
 	n.bytesRecvd = append(n.bytesRecvd, 0)
 	n.msgsSent = append(n.msgsSent, 0)
+	n.col.SetNodeSpace(len(n.nodes))
 	return NodeID(len(n.nodes) - 1)
 }
 
@@ -310,9 +328,11 @@ func deliverSend(p sim.Payload) {
 	n := p.Ctx.(*Net)
 	from, to := NodeID(p.A), NodeID(p.B)
 	if !n.nodes[to].up || n.partitioned(from, to) {
+		n.noteInFlightDrop(from, to)
 		return
 	}
 	n.bytesRecvd[to] += p.C
+	n.noteDelivered(to)
 	p.Aux.(func())()
 }
 
@@ -322,9 +342,11 @@ func deliverBroadcast(p sim.Payload) {
 	n := p.Ctx.(*Net)
 	from, to := NodeID(p.A), NodeID(p.B)
 	if !n.nodes[to].up || n.partitioned(from, to) {
+		n.noteInFlightDrop(from, to)
 		return
 	}
 	n.bytesRecvd[to] += p.C
+	n.noteDelivered(to)
 	p.Aux.(func(NodeID))(to)
 }
 
@@ -344,14 +366,17 @@ func (n *Net) Send(from, to NodeID, size int, deliver func()) bool {
 		return false
 	}
 	if !n.reachable(from, to) {
+		n.noteAdmissionDrop(from, to)
 		return false
 	}
 	n.bytesSent[from] += int64(size)
 	n.msgsSent[from]++
 	if n.loss > 0 && n.rng.Bool(n.loss) {
+		n.noteLossDrop(from, to)
 		return false
 	}
 	delay := n.TransferTime(from, to, size) + n.Latency(from, to)
+	n.noteSend(from, to, size, delay)
 	return n.sim.AfterFunc(delay, deliverSend, sim.Payload{
 		Ctx: n, Aux: deliver, A: int64(from), B: int64(to), C: int64(size),
 	})
@@ -376,16 +401,22 @@ func (n *Net) Broadcast(from NodeID, size int, deliver func(to NodeID)) int {
 	var uplink time.Duration
 	for i := range n.nodes {
 		to := NodeID(i)
-		if to == from || !n.nodes[to].up || n.partitioned(from, to) {
+		if to == from {
+			continue
+		}
+		if !n.nodes[to].up || n.partitioned(from, to) {
+			n.noteAdmissionDrop(from, to)
 			continue
 		}
 		uplink += perCopy
 		n.bytesSent[from] += int64(size)
 		n.msgsSent[from]++
 		if n.loss > 0 && n.rng.Bool(n.loss) {
+			n.noteLossDrop(from, to)
 			continue
 		}
 		delay := uplink + serialization(n.nodes[to].downBps, size) + n.Latency(from, to)
+		n.noteSend(from, to, size, delay)
 		if n.sim.AfterFunc(delay, deliverBroadcast, sim.Payload{
 			Ctx: n, Aux: deliver, A: int64(from), B: int64(to), C: int64(size),
 		}) {
@@ -407,15 +438,20 @@ func (n *Net) Transfer(from, to NodeID, size int) (time.Duration, bool) {
 		return 0, false
 	}
 	if !n.reachable(from, to) {
+		n.noteAdmissionDrop(from, to)
 		return 0, false
 	}
 	n.bytesSent[from] += int64(size)
 	n.msgsSent[from]++
 	if n.loss > 0 && n.rng.Bool(n.loss) {
+		n.noteLossDrop(from, to)
 		return 0, false
 	}
 	n.bytesRecvd[to] += int64(size)
-	return n.TransferTime(from, to, size) + n.Latency(from, to), true
+	delay := n.TransferTime(from, to, size) + n.Latency(from, to)
+	n.noteSend(from, to, size, delay)
+	n.noteDelivered(to)
+	return delay, true
 }
 
 // BytesSent returns the cumulative bytes sent by a node.

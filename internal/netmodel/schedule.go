@@ -54,11 +54,13 @@ func (n *Net) SchedulePartitionWindow(start, end time.Duration, groups map[NodeI
 	n.sim.At(start, func() {
 		n.partOwner = w
 		n.partOf = expanded
+		n.noteWindow("partition.start", 0, "groups", int64(len(groups)))
 	})
 	n.sim.At(end, func() {
 		if n.partOwner == w {
 			n.partOwner = nil
 			n.partOf = n.basePart
+			n.noteWindow("partition.end", 0, "", 0)
 		}
 	})
 	return nil
@@ -82,11 +84,13 @@ func (n *Net) ScheduleLossWindow(start, end time.Duration, p float64) error {
 	n.sim.At(start, func() {
 		n.lossOwner = w
 		n.loss = p
+		n.noteWindow("loss.start", 0, "ppm", int64(p*1e6))
 	})
 	n.sim.At(end, func() {
 		if n.lossOwner == w {
 			n.lossOwner = nil
 			n.loss = n.baseLoss
+			n.noteWindow("loss.end", 0, "ppm", int64(n.loss*1e6))
 		}
 	})
 	return nil
@@ -116,11 +120,13 @@ func (n *Net) ScheduleOutageWindow(start, end time.Duration, id NodeID) error {
 	n.sim.At(start, func() {
 		n.outOwner[id] = w
 		n.nodes[id].up = false
+		n.noteWindow("outage.start", int64(id), "node", int64(id))
 	})
 	n.sim.At(end, func() {
 		if n.outOwner[id] == w {
 			delete(n.outOwner, id)
 			n.nodes[id].up = n.nodes[id].baseUp
+			n.noteWindow("outage.end", int64(id), "node", int64(id))
 		}
 	})
 	return nil

@@ -272,7 +272,7 @@ func (nw *Network) rpc(from *Node, to netmodel.NodeID, maint bool, onDone func(p
 		nw.maintBytes += int64(nw.cfg.ReqSize)
 	}
 	answered := false
-	var timeout *sim.Event
+	var timeout sim.Handle
 	finish := func(p *Node, ok bool) {
 		if answered {
 			return

@@ -219,7 +219,7 @@ type query struct {
 	start     time.Duration
 	done      func(QueryResult)
 	finished  bool
-	timeout   *sim.Event
+	timeout   sim.Handle
 }
 
 // Query floods a search for item from the origin node and calls done exactly

@@ -306,7 +306,7 @@ func (nw *Network) ClosestOnline(target overlay.ID, k int) []*Node {
 func (nw *Network) findNode(from *Node, to Contact, target overlay.ID, onDone func(contacts []Contact, ok bool)) {
 	nw.rpcs++
 	answered := false
-	var timeout *sim.Event
+	var timeout sim.Handle
 	finish := func(contacts []Contact, ok bool) {
 		if answered {
 			return

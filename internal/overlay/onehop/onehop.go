@@ -210,7 +210,7 @@ func (nw *Network) Lookup(origin *Node, key uint64, done func(Result)) {
 		}
 		target := cands[i]
 		answered := false
-		var timeout *sim.Event
+		var timeout sim.Handle
 		finish := func(ok bool) {
 			if answered {
 				return

@@ -82,8 +82,8 @@ type Replica struct {
 	lastExe int
 
 	pending      []Request // primary's batch buffer
-	batchTimer   *sim.Event
-	progressT    *sim.Event
+	batchTimer   sim.Handle
+	progressT    sim.Handle
 	vcVotes      map[int]map[int]bool // view -> voters
 	crashed      bool
 	byzantineMut bool // equivocating primary behaviour
@@ -259,7 +259,7 @@ func (c *Cluster) Submit(req Request) {
 		c.flushBatch(p)
 		return
 	}
-	if p.batchTimer == nil || p.batchTimer.Canceled() {
+	if !p.batchTimer.Scheduled() {
 		p.batchTimer = c.sim.After(c.cfg.BatchTimeout, func() { c.flushBatch(p) })
 	}
 }
@@ -279,9 +279,7 @@ func (c *Cluster) medianView() int {
 
 // flushBatch starts consensus on the primary's pending batch.
 func (c *Cluster) flushBatch(p *Replica) {
-	if p.batchTimer != nil {
-		p.batchTimer.Cancel()
-	}
+	p.batchTimer.Cancel()
 	if p.crashed || len(p.pending) == 0 || c.primary(p.view) != p {
 		return
 	}
@@ -439,10 +437,8 @@ func (c *Cluster) tryExecute(r *Replica) {
 		}
 		inst.executed = true
 		r.lastExe++
-		if r.progressT != nil {
-			r.progressT.Cancel()
-			r.progressT = nil
-		}
+		r.progressT.Cancel()
+		r.progressT = sim.Handle{}
 		if c.onExecute != nil {
 			c.onExecute(r.id, r.lastExe, inst.batch)
 		}
@@ -470,7 +466,7 @@ func (c *Cluster) firstExecutor(seq int) int {
 
 // ensureProgressTimer arms the view-change timer if not already pending.
 func (c *Cluster) ensureProgressTimer(r *Replica) {
-	if r.crashed || r.progressT != nil && !r.progressT.Canceled() {
+	if r.crashed || !r.progressT.IsZero() {
 		return
 	}
 	r.progressT = c.sim.After(c.cfg.ViewChangeTimeout, func() { c.startViewChange(r) })
@@ -506,7 +502,7 @@ func (c *Cluster) onViewChange(r *Replica, from, view int) {
 	votes[from] = true
 	if len(votes) >= 2*c.f+1 {
 		r.view = view
-		r.progressT = nil
+		r.progressT = sim.Handle{}
 		c.viewChanges++
 		if c.primary(view) == r {
 			// New primary resumes: adopt the highest sequence it knows and

@@ -96,7 +96,7 @@ type Network struct {
 
 	difficulty float64
 	totalHash  float64
-	nextFind   *sim.Event
+	nextFind   sim.Handle
 
 	blockMiner map[ledger.Hash]int     // block -> miner id
 	workCache  map[ledger.Hash]float64 // block -> cumulative work
@@ -205,7 +205,7 @@ func (nw *Network) SetHashrate(id int, hashrate float64) {
 	}
 	nw.totalHash += hashrate - nw.miners[id].Hashrate
 	nw.miners[id].Hashrate = hashrate
-	if nw.nextFind != nil {
+	if !nw.nextFind.IsZero() {
 		nw.nextFind.Cancel()
 		nw.scheduleNext()
 	}
@@ -222,10 +222,8 @@ func (nw *Network) Start() { nw.scheduleNext() }
 
 // Stop halts block discovery.
 func (nw *Network) Stop() {
-	if nw.nextFind != nil {
-		nw.nextFind.Cancel()
-		nw.nextFind = nil
-	}
+	nw.nextFind.Cancel()
+	nw.nextFind = sim.Handle{}
 }
 
 // scheduleNext draws the time to the next network-wide block discovery.

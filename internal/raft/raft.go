@@ -91,7 +91,7 @@ type Node struct {
 	nextIndex  []int
 	matchIndex []int
 
-	electionTimer *sim.Event
+	electionTimer sim.Handle
 	heartbeat     *sim.Ticker
 	crashed       bool
 }
@@ -206,9 +206,7 @@ func (c *Cluster) Crash(id int) {
 		n.heartbeat.Stop()
 		n.heartbeat = nil
 	}
-	if n.electionTimer != nil {
-		n.electionTimer.Cancel()
-	}
+	n.electionTimer.Cancel()
 }
 
 // Recover restarts a crashed node as a follower with its log intact.
@@ -242,9 +240,7 @@ func (c *Cluster) Submit(req Request) bool {
 }
 
 func (c *Cluster) resetElectionTimer(n *Node) {
-	if n.electionTimer != nil {
-		n.electionTimer.Cancel()
-	}
+	n.electionTimer.Cancel()
 	span := c.cfg.ElectionTimeoutMax - c.cfg.ElectionTimeoutMin
 	d := c.cfg.ElectionTimeoutMin + time.Duration(c.rng.Float64()*float64(span))
 	n.electionTimer = c.sim.After(d, func() { c.startElection(n) })
@@ -324,9 +320,7 @@ func (c *Cluster) onVote(n *Node, from, term int) {
 		n.matchIndex[i] = -1
 	}
 	n.matchIndex[n.id] = len(n.log) - 1
-	if n.electionTimer != nil {
-		n.electionTimer.Cancel()
-	}
+	n.electionTimer.Cancel()
 	for _, peer := range c.nodes {
 		if peer != n {
 			c.sendAppend(n, peer)

@@ -1,0 +1,133 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestResourcesAppendix checks the resources layer end to end: pages gain
+// a Resources appendix fed by per-run collectors, transport-driving
+// experiments get counter tables and a latency CDF figure, and the
+// host-side samples land in resources/host.json, indexed as volatile.
+func TestResourcesAppendix(t *testing.T) {
+	tree, err := Generate(registry(t), Options{
+		IDs:       []string{"E02", "E11"},
+		Seeds:     []int64{1, 2},
+		Scale:     0.25,
+		Resources: true,
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+
+	// E02 drives the instrumented transport: counters, a delivery-delay
+	// histogram, and its CDF figure.
+	page := string(tree.Lookup("experiments/E02.md"))
+	for _, want := range []string{
+		"## Resources", "| events fired |", "net.msgs_sent",
+		"net.delivery_delay_ns", "../figures/E02-res-1.svg",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("E02 page lacks %q:\n%s", want, page)
+		}
+	}
+	svg := tree.Lookup("figures/E02-res-1.svg")
+	if svg == nil || !bytes.HasPrefix(svg, []byte("<svg ")) || bytes.Contains(svg, []byte("NaN")) {
+		t.Error("E02 resources CDF figure missing or not clean SVG")
+	}
+
+	// E11 is a closed-form economic model with no instrumented subsystem:
+	// the appendix must still render, saying so.
+	page = string(tree.Lookup("experiments/E11.md"))
+	if !strings.Contains(page, "## Resources") {
+		t.Errorf("E11 page lacks a Resources appendix:\n%s", page)
+	}
+
+	// Host samples: one entry per (experiment, seed), sorted, with real
+	// wall times.
+	var host struct {
+		Runs []hostEntry `json:"runs"`
+	}
+	if err := json.Unmarshal(tree.Lookup(hostFile), &host); err != nil {
+		t.Fatalf("host.json: %v", err)
+	}
+	if len(host.Runs) != 4 {
+		t.Fatalf("host.json has %d runs, want 4: %+v", len(host.Runs), host.Runs)
+	}
+	for i, r := range host.Runs {
+		if r.WallNanos <= 0 {
+			t.Errorf("run %d (%s seed %d) wall_ns = %d, want > 0", i, r.Experiment, r.Seed, r.WallNanos)
+		}
+		if i > 0 {
+			prev := host.Runs[i-1]
+			if r.Experiment < prev.Experiment || (r.Experiment == prev.Experiment && r.Seed < prev.Seed) {
+				t.Errorf("host runs not sorted at %d: %+v", i, host.Runs)
+			}
+		}
+	}
+
+	// Manifest: resources flag set, host.json volatile and unhashed,
+	// everything else hashed.
+	var man struct {
+		Resources bool           `json:"resources"`
+		Files     []manifestFile `json:"files"`
+	}
+	if err := json.Unmarshal(tree.Lookup("manifest.json"), &man); err != nil {
+		t.Fatalf("manifest: %v", err)
+	}
+	if !man.Resources {
+		t.Error("manifest lacks resources: true")
+	}
+	found := false
+	for _, f := range man.Files {
+		if f.Path == hostFile {
+			found = true
+			if !f.Volatile || f.SHA256 != "" || f.Bytes != 0 {
+				t.Errorf("host.json manifest entry must be volatile and unhashed: %+v", f)
+			}
+		} else if f.Volatile || f.SHA256 == "" {
+			t.Errorf("non-host file %s must carry a hash and no volatile flag: %+v", f.Path, f)
+		}
+	}
+	if !found {
+		t.Error("manifest does not index host.json")
+	}
+}
+
+// TestResourcesDeterministicAcrossWorkers is the acceptance gate for the
+// telemetry layer: with Resources on, every artifact except the volatile
+// host.json is byte-identical at worker counts 1 and 8.
+func TestResourcesDeterministicAcrossWorkers(t *testing.T) {
+	opts := Options{
+		IDs:       []string{"E01", "E02", "E13"},
+		Seeds:     []int64{1, 2},
+		Scale:     0.25,
+		Resources: true,
+	}
+	opts.Workers = 1
+	a, err := Generate(registry(t), opts)
+	if err != nil {
+		t.Fatalf("Generate workers=1: %v", err)
+	}
+	opts.Workers = 8
+	b, err := Generate(registry(t), opts)
+	if err != nil {
+		t.Fatalf("Generate workers=8: %v", err)
+	}
+	if len(a.Files) != len(b.Files) {
+		t.Fatalf("tree sizes differ: %d vs %d files", len(a.Files), len(b.Files))
+	}
+	for i := range a.Files {
+		if a.Files[i].Path != b.Files[i].Path {
+			t.Fatalf("file %d path differs: %s vs %s", i, a.Files[i].Path, b.Files[i].Path)
+		}
+		if a.Files[i].Path == hostFile {
+			continue
+		}
+		if !bytes.Equal(a.Files[i].Data, b.Files[i].Data) {
+			t.Errorf("%s differs between worker counts", a.Files[i].Path)
+		}
+	}
+}

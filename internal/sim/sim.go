@@ -7,18 +7,20 @@
 // concurrency inside a run, so a (seed, configuration) pair always reproduces
 // the same trajectory bit-for-bit.
 //
-// Cancellation is eager: Event.Cancel (and Ticker.Stop) removes the event
-// from the heap immediately and releases its callback, so canceled timers do
-// not linger until their fire time, Pending reports the exact live-event
-// count, and a stopped Ticker's closure is collectable at once. Removal
-// preserves (time, sequence) order of the remaining events, so canceling
-// never perturbs determinism.
+// Cancellation is eager: Handle.Cancel (and Ticker.Stop) removes the event
+// from the heap immediately and recycles it, so canceled timers do not
+// linger until their fire time, Pending reports the exact live-event count,
+// and a stopped Ticker's closure is collectable at once. Removal preserves
+// (time, sequence) order of the remaining events, so canceling never
+// perturbs determinism.
 //
-// For per-message hot paths (the netmodel transport delivers millions of
-// events per run) the kernel offers a pooled fast path: AtFunc/AfterFunc
-// schedule a shared Handler with an inline Payload instead of a fresh
-// closure, drawing the Event from a free list and recycling it at fire
-// time, so steady-state scheduling allocates nothing.
+// Every event — closure (At/After/Every) and handler (AtFunc/AfterFunc)
+// alike — is drawn from a per-Sim free list and recycled the moment it
+// fires or is canceled, so steady-state scheduling allocates nothing on
+// either path. Because recycled events are reused, callers never hold
+// *event pointers: scheduling returns a by-value Handle carrying the
+// event's generation number, which makes a stale Cancel (after the event
+// fired, was canceled, or its slot was reused) a safe no-op.
 package sim
 
 import (
@@ -27,31 +29,81 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrStopped is returned by Run variants when the simulation was halted by an
 // explicit call to Stop rather than by reaching its natural end.
 var ErrStopped = errors.New("sim: stopped")
 
-// Event is a scheduled callback. It is returned by the scheduling methods so
-// callers can cancel it before it fires.
+// event is a scheduled callback slot. Slots live on a per-Sim free list and
+// are reused across schedules; gen counts reuses so stale Handles can detect
+// that "their" event is gone.
 //
-// Events come in two flavours. Closure events (At/After/Every) carry a fresh
-// fn closure and are handed back to the caller for cancellation. Handler
+// Events come in two flavours. Closure events (At/After/Every) carry a
+// fresh fn closure and hand the caller a Handle for cancellation. Handler
 // events (AtFunc/AfterFunc) carry a shared Handler plus an inline Payload
-// instead of a closure; they are drawn from a per-Sim free list, recycled
-// the moment they fire, and deliberately not returned to callers — a
-// recycled pointer must never be cancelable from stale references.
-type Event struct {
+// instead of a closure and return no handle — the hot-path contract is
+// fire-and-forget.
+type event struct {
 	at       time.Duration
 	seq      uint64
 	fn       func()
 	h        Handler
 	p        Payload
-	q        *eventQueue
-	index    int // position in the heap, -1 once popped or canceled
-	canceled bool
-	nextFree *Event // free-list link for recycled handler events
+	owner    *Sim
+	index    int    // position in the heap, -1 once popped or recycled
+	gen      uint64 // bumped on every recycle; Handles snapshot it
+	nextFree *event // free-list link for recycled events
+}
+
+// Handle refers to a scheduled closure event. It is a small by-value pair
+// (slot pointer + generation), so handles can be stored, copied and kept
+// past the event's lifetime freely: once the event fires, is canceled, or
+// its slot is reused, the generation no longer matches and the handle is
+// inert. The zero Handle is valid and refers to nothing.
+type Handle struct {
+	ev  *event
+	gen uint64
+}
+
+// Cancel prevents the event from firing. The event is removed from the
+// schedule eagerly and its slot recycled, so canceling is O(log n) now
+// rather than a deferred skip at fire time: a canceled long-horizon timer
+// neither pins its closure nor inflates Pending, and its slot is
+// immediately reusable — a schedule/cancel loop allocates nothing.
+// Canceling an event that already fired (or was already canceled), or a
+// zero Handle, is a no-op.
+func (h Handle) Cancel() {
+	ev := h.ev
+	if ev == nil || ev.gen != h.gen || ev.index < 0 {
+		return
+	}
+	s := ev.owner
+	heap.Remove(&s.queue, ev.index)
+	s.releaseEvent(ev)
+}
+
+// Scheduled reports whether the event is still pending: not yet fired and
+// not canceled. The zero Handle reports false.
+func (h Handle) Scheduled() bool {
+	return h.ev != nil && h.ev.gen == h.gen && h.ev.index >= 0
+}
+
+// IsZero reports whether the handle never referred to an event — i.e. it is
+// the zero Handle, as returned for rejected schedules. A fired or canceled
+// handle is not zero: IsZero distinguishes "nothing was ever scheduled"
+// from "the event ran its course".
+func (h Handle) IsZero() bool { return h.ev == nil }
+
+// At returns the virtual time the event is scheduled to fire, or 0 if the
+// handle is no longer live.
+func (h Handle) At() time.Duration {
+	if !h.Scheduled() {
+		return 0
+	}
+	return h.ev.at
 }
 
 // Payload is the inline argument block of a handler event. Ctx and Aux hold
@@ -74,39 +126,19 @@ type Payload struct {
 // a closure per event.
 type Handler func(p Payload)
 
-// Cancel prevents the event from firing. The event is removed from the
-// schedule eagerly and its callback released, so canceling is O(log n) now
-// rather than a deferred skip at fire time: a canceled long-horizon timer
-// neither pins its closure nor inflates Pending. Canceling an event that has
-// already fired (or was already canceled) is a no-op.
-func (e *Event) Cancel() {
-	if e == nil || e.canceled {
-		return
-	}
-	e.canceled = true
-	if e.q != nil && e.index >= 0 {
-		heap.Remove(e.q, e.index)
-	}
-	e.fn = nil
-}
-
-// Canceled reports whether Cancel was called on the event.
-func (e *Event) Canceled() bool { return e != nil && e.canceled }
-
-// At returns the virtual time the event is scheduled to fire.
-func (e *Event) At() time.Duration { return e.at }
-
 // Sim is a discrete-event simulator. The zero value is not usable; construct
 // instances with New.
 type Sim struct {
-	queue   eventQueue
-	now     time.Duration
-	seq     uint64
-	fired   uint64
-	stopped bool
-	seed    int64
-	streams map[string]*RNG
-	free    *Event // recycled handler events (AtFunc/AfterFunc)
+	queue      eventQueue
+	now        time.Duration
+	seq        uint64
+	fired      uint64
+	maxPending int
+	stopped    bool
+	seed       int64
+	streams    map[string]*RNG
+	free       *event // recycled event slots
+	observer   *obs.Collector
 }
 
 // Option configures a Sim created by New.
@@ -116,6 +148,18 @@ type Option func(*Sim)
 // Runs with equal seeds and equal event orderings are identical.
 func WithSeed(seed int64) Option {
 	return func(s *Sim) { s.seed = seed }
+}
+
+// WithObserver attaches a telemetry collector. Subsystems built on the Sim
+// (the netmodel transport in particular) discover it via Observer and
+// register their instruments against it; the Sim itself registers its
+// kernel statistics (events fired, peak pending, virtual time) with the
+// collector's snapshot. A nil collector leaves telemetry off.
+func WithObserver(c *obs.Collector) Option {
+	return func(s *Sim) {
+		s.observer = c
+		c.AttachSim(s)
+	}
 }
 
 // New constructs an empty simulator positioned at virtual time zero.
@@ -141,26 +185,48 @@ func (s *Sim) Fired() uint64 { return s.fired }
 // counted.
 func (s *Sim) Pending() int { return len(s.queue) }
 
+// MaxPending returns the high-water mark of the pending-event count — the
+// peak schedule depth the run reached.
+func (s *Sim) MaxPending() int { return s.maxPending }
+
 // Seed returns the master seed the simulator was created with.
 func (s *Sim) Seed() int64 { return s.seed }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the past
-// is an error surfaced by returning a nil event and scheduling nothing; the
-// simulator deliberately never panics on behalf of library callers.
-func (s *Sim) At(t time.Duration, fn func()) *Event {
-	if t < s.now || fn == nil {
-		return nil
-	}
-	ev := &Event{at: t, seq: s.seq, fn: fn, q: &s.queue}
+// Observer returns the telemetry collector attached via WithObserver, or
+// nil when telemetry is off.
+func (s *Sim) Observer() *obs.Collector { return s.observer }
+
+// push enqueues an event slot and tracks the schedule's high-water mark.
+func (s *Sim) push(ev *event) {
+	ev.seq = s.seq
 	s.seq++
 	heap.Push(&s.queue, ev)
-	return ev
+	if len(s.queue) > s.maxPending {
+		s.maxPending = len(s.queue)
+	}
+}
+
+// At schedules fn to run at absolute virtual time t and returns a Handle
+// for cancellation. Scheduling in the past is an error surfaced by
+// returning the zero Handle and scheduling nothing; the simulator
+// deliberately never panics on behalf of library callers. The event slot
+// comes from the free list and is recycled when it fires or is canceled,
+// so steady-state closure scheduling allocates nothing beyond the
+// closure itself.
+func (s *Sim) At(t time.Duration, fn func()) Handle {
+	if t < s.now || fn == nil {
+		return Handle{}
+	}
+	ev := s.takeEvent()
+	ev.at, ev.fn = t, fn
+	s.push(ev)
+	return Handle{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current virtual time. Negative delays
 // are clamped to zero so the event fires "immediately" (after already-queued
 // events at the current instant).
-func (s *Sim) After(d time.Duration, fn func()) *Event {
+func (s *Sim) After(d time.Duration, fn func()) Handle {
 	if d < 0 {
 		d = 0
 	}
@@ -168,10 +234,8 @@ func (s *Sim) After(d time.Duration, fn func()) *Event {
 }
 
 // AtFunc schedules h to run with payload p at absolute virtual time t. It is
-// the allocation-free counterpart of At: the event comes from a per-Sim free
-// list and is recycled the moment it fires, so a steady-state schedule/fire
-// loop performs zero allocations. Because the event is recycled, AtFunc
-// returns no handle and the event cannot be canceled; use At when you need
+// the handle-free counterpart of At for per-message hot paths: no Handle is
+// returned and the event cannot be canceled; use At when you need
 // cancellation. Scheduling in the past or with a nil handler is a no-op
 // returning false.
 func (s *Sim) AtFunc(t time.Duration, h Handler, p Payload) bool {
@@ -179,9 +243,8 @@ func (s *Sim) AtFunc(t time.Duration, h Handler, p Payload) bool {
 		return false
 	}
 	ev := s.takeEvent()
-	ev.at, ev.seq, ev.h, ev.p, ev.q = t, s.seq, h, p, &s.queue
-	s.seq++
-	heap.Push(&s.queue, ev)
+	ev.at, ev.h, ev.p = t, h, p
+	s.push(ev)
 	return true
 }
 
@@ -195,19 +258,21 @@ func (s *Sim) AfterFunc(d time.Duration, h Handler, p Payload) bool {
 	return s.AtFunc(s.now+d, h, p)
 }
 
-// takeEvent pops a recycled event or allocates a fresh one.
-func (s *Sim) takeEvent() *Event {
+// takeEvent pops a recycled event slot or allocates a fresh one.
+func (s *Sim) takeEvent() *event {
 	if ev := s.free; ev != nil {
 		s.free = ev.nextFree
 		ev.nextFree = nil
 		return ev
 	}
-	return &Event{}
+	return &event{owner: s}
 }
 
-// releaseEvent clears a fired handler event and pushes it on the free list.
-func (s *Sim) releaseEvent(ev *Event) {
-	*ev = Event{index: -1, nextFree: s.free}
+// releaseEvent clears a fired or canceled event, bumps its generation so
+// outstanding Handles go inert, and pushes it on the free list.
+func (s *Sim) releaseEvent(ev *event) {
+	gen := ev.gen + 1
+	*ev = event{owner: s, gen: gen, index: -1, nextFree: s.free}
 	s.free = ev
 }
 
@@ -216,7 +281,7 @@ type Ticker struct {
 	sim     *Sim
 	period  time.Duration
 	fn      func()
-	next    *Event
+	next    Handle
 	stopped bool
 }
 
@@ -297,14 +362,18 @@ func (s *Sim) RunUntil(horizon time.Duration) error {
 		// is always live.
 		s.now = next.at
 		s.fired++
+		// Recycle before invoking so the callback's own scheduling can
+		// reuse the slot — the steady-state fast path for both flavours.
+		// The release bumps the generation, so a Handle to this event is
+		// already inert inside its own callback.
 		if next.h != nil {
-			// Handler event: recycle before invoking so the handler's own
-			// scheduling can reuse the slot — the steady-state fast path.
 			h, p := next.h, next.p
 			s.releaseEvent(next)
 			h(p)
 		} else {
-			next.fn()
+			fn := next.fn
+			s.releaseEvent(next)
+			fn()
 		}
 		if s.stopped {
 			s.stopped = false
@@ -320,7 +389,7 @@ func (s *Sim) RunUntil(horizon time.Duration) error {
 // eventQueue is a binary min-heap ordered by (at, seq); seq breaks ties so
 // that same-instant events fire in scheduling order, keeping runs
 // deterministic.
-type eventQueue []*Event
+type eventQueue []*event
 
 func (q eventQueue) Len() int { return len(q) }
 
@@ -338,7 +407,7 @@ func (q eventQueue) Swap(i, j int) {
 }
 
 func (q *eventQueue) Push(x any) {
-	ev, ok := x.(*Event)
+	ev, ok := x.(*event)
 	if !ok {
 		return
 	}

@@ -55,11 +55,12 @@ func TestAfterAdvancesClock(t *testing.T) {
 	}
 }
 
-func TestSchedulePastReturnsNil(t *testing.T) {
+func TestSchedulePastReturnsZeroHandle(t *testing.T) {
 	s := New()
 	s.After(time.Second, func() {
-		if ev := s.At(0, func() {}); ev != nil {
-			t.Error("scheduling in the past should return nil")
+		ev := s.At(0, func() {})
+		if !ev.IsZero() || ev.Scheduled() {
+			t.Error("scheduling in the past should return the zero handle")
 		}
 	})
 	if err := s.Run(); err != nil {
@@ -71,6 +72,9 @@ func TestCancel(t *testing.T) {
 	s := New()
 	fired := false
 	ev := s.After(time.Second, func() { fired = true })
+	if !ev.Scheduled() {
+		t.Fatal("Scheduled() = false before Cancel")
+	}
 	ev.Cancel()
 	if err := s.Run(); err != nil {
 		t.Fatalf("Run: %v", err)
@@ -78,8 +82,11 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Fatal("canceled event fired")
 	}
-	if !ev.Canceled() {
-		t.Fatal("Canceled() = false after Cancel")
+	if ev.Scheduled() {
+		t.Fatal("Scheduled() = true after Cancel")
+	}
+	if ev.IsZero() {
+		t.Fatal("a canceled handle is spent, not zero")
 	}
 }
 
@@ -114,7 +121,7 @@ func TestCancelEager(t *testing.T) {
 func TestCancelPreservesOrder(t *testing.T) {
 	s := New()
 	var got []int
-	var evs []*Event
+	var evs []Handle
 	for i := 0; i < 10; i++ {
 		i := i
 		evs = append(evs, s.At(time.Duration(i)*time.Second, func() { got = append(got, i) }))
