@@ -120,13 +120,16 @@ func baseName(name string) string {
 	return name[:i]
 }
 
-// CheckAllocs enforces the allocation-regression gate: every benchmark
-// whose committed baseline reports 0 allocs/op must still report 0 (and
-// must still exist, with -benchmem on) in the current results. ns/op is
-// machine-dependent and deliberately not compared. Current benchmarks the
-// baseline does not know are not an error — they are returned (sorted, by
-// stripped identity) so callers can surface them as candidates for
-// pinning instead of silently skipping them.
+// CheckAllocs enforces the allocation-regression gate: every benchmark in
+// the committed baseline must still exist in the current results (a
+// pinned benchmark disappearing from the measured set — renamed, deleted,
+// or dropped by a narrowed -bench filter — is a hard failure, otherwise
+// the gate would silently stop gating), and every benchmark whose
+// baseline reports 0 allocs/op must still report 0, with -benchmem on.
+// ns/op is machine-dependent and deliberately not compared. Current
+// benchmarks the baseline does not know are not an error — they are
+// returned (sorted, by stripped identity) so callers can surface them as
+// candidates for pinning instead of silently skipping them.
 func CheckAllocs(baseline, current []Result) (newEntries []string, err error) {
 	cur := make(map[string]Result, len(current))
 	for _, r := range current {
@@ -143,16 +146,18 @@ func CheckAllocs(baseline, current []Result) (newEntries []string, err error) {
 	known := make(map[string]bool, len(baseline))
 	var violations []string
 	for _, b := range baseline {
-		known[b.Pkg+"\x00"+baseName(b.Name)] = true
+		key := b.Pkg + "\x00" + baseName(b.Name)
+		known[key] = true
+		c, ok := cur[key]
+		if !ok {
+			violations = append(violations, fmt.Sprintf(
+				"%s %s: pinned benchmark missing from the measured set", b.Pkg, baseName(b.Name)))
+			continue
+		}
 		if b.AllocsOp == nil || *b.AllocsOp != 0 {
 			continue
 		}
-		key := b.Pkg + "\x00" + baseName(b.Name)
-		c, ok := cur[key]
 		switch {
-		case !ok:
-			violations = append(violations, fmt.Sprintf(
-				"%s %s: pinned 0-alloc benchmark missing from current results", b.Pkg, baseName(b.Name)))
 		case c.AllocsOp == nil:
 			violations = append(violations, fmt.Sprintf(
 				"%s %s: current results lack allocs/op (run with -benchmem)", b.Pkg, baseName(b.Name)))

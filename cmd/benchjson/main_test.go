@@ -154,9 +154,26 @@ func TestCheckAllocsIgnoresNonZeroBaselines(t *testing.T) {
 	if _, err := CheckAllocs(baseline, current); err != nil {
 		t.Fatalf("CheckAllocs: %v", err)
 	}
-	// And a baseline without memory data pins nothing.
-	if _, err := CheckAllocs([]Result{{Pkg: "p", Name: "BenchmarkX-8"}}, nil); err != nil {
+	// Likewise a baseline entry without memory data pins no alloc count —
+	// but every baseline entry, pinned or not, must still be measured.
+	noMem := []Result{{Pkg: "p", Name: "BenchmarkX-8", Iters: 1, NsPerOp: 1}}
+	if _, err := CheckAllocs(noMem, noMem); err != nil {
 		t.Fatalf("CheckAllocs: %v", err)
+	}
+}
+
+func TestCheckAllocsMissingUnpinnedBenchmark(t *testing.T) {
+	// Disappearing from the measured set fails even for baseline entries
+	// that are not 0-alloc pinned: a renamed or filtered-out benchmark
+	// must not silently shrink the gate.
+	baseline := []Result{allocResult("p", "BenchmarkOther-8", 3)}
+	_, err := CheckAllocs(baseline, []Result{allocResult("p", "BenchmarkElse-8", 0)})
+	if err == nil || !strings.Contains(err.Error(), "missing from the measured set") {
+		t.Fatalf("err = %v, want missing-benchmark failure", err)
+	}
+	_, err = CheckAllocs([]Result{{Pkg: "p", Name: "BenchmarkX-8"}}, nil)
+	if err == nil || !strings.Contains(err.Error(), "missing from the measured set") {
+		t.Fatalf("err = %v, want missing-benchmark failure", err)
 	}
 }
 

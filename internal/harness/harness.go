@@ -127,7 +127,7 @@ func (r *Runner) runOne(j Job) JobResult {
 	if r.SampleHost {
 		watch = obs.StartHostWatch()
 	}
-	start := time.Now()
+	start := time.Now() //decentlint:allow nondeterm host-side wall timing rides on JobResult.Elapsed, never on deterministic output
 	var res *core.Result
 	var err error
 	if r.ProfileDir != "" {
@@ -135,7 +135,7 @@ func (r *Runner) runOne(j Job) JobResult {
 	} else {
 		res, err = r.Registry.Run(j.ExperimentID, j.Config)
 	}
-	out := JobResult{Job: j, Result: res, Err: err, Elapsed: time.Since(start)}
+	out := JobResult{Job: j, Result: res, Err: err, Elapsed: time.Since(start)} //decentlint:allow nondeterm host-side wall timing rides on JobResult.Elapsed, never on deterministic output
 	if watch != nil {
 		s := watch.Sample()
 		out.Host = &s

@@ -127,7 +127,7 @@ func paramCombos(params map[string][]float64) []map[string]float64 {
 	names := make([]string, 0, len(params))
 	for name, vals := range params {
 		if len(vals) > 0 {
-			names = append(names, name)
+			names = append(names, name) //decentlint:allow nondeterm names are sorted below before any order-sensitive use
 		}
 	}
 	if len(names) == 0 {

@@ -1,0 +1,58 @@
+// Package analysis is a minimal, dependency-free core of the
+// golang.org/x/tools/go/analysis API: an Analyzer is a named check, a Pass
+// hands it one type-checked package, and Report surfaces findings.
+//
+// The build environment for this repository is hermetic (no module proxy,
+// no vendored third-party code), so the real x/tools module cannot be
+// fetched; this package mirrors the subset of its API the decentlint suite
+// needs — Analyzer{Name, Doc, Run}, Pass, Diagnostic, Reportf — with
+// identical field names and semantics, so switching to the upstream module
+// later is a mechanical import swap. Facts, SSA, and dependency results are
+// deliberately out of scope: every decentlint analyzer is a single-package
+// syntax+types walk.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the check in diagnostics and in
+	// //decentlint:allow directives. It must be a valid identifier.
+	Name string
+	// Doc is the one-paragraph contract the check enforces.
+	Doc string
+	// Run applies the check to one package. The result value is unused by
+	// the decentlint driver but kept for upstream API compatibility.
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass provides one analyzer invocation with a single type-checked
+// package and a sink for its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. The driver installs a collector
+	// that applies //decentlint:allow suppression afterwards.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directives. Two comment forms steer the suite:
+//
+//	//decentlint:allow <check> <reason…>
+//	    Suppresses findings of the named check on the directive's own line
+//	    and on the line directly below it (so it can trail a statement or
+//	    sit on its own line above one). The reason is mandatory: an allow
+//	    without a written justification is itself a finding.
+//
+//	//decentlint:hotpath
+//	    On a function declaration's doc comment, opts the function into
+//	    the hotpath analyzer's allocation-free contract.
+//
+// Directives are comments, so they survive gofmt and show up in review
+// diffs next to the code they excuse.
+
+const (
+	allowPrefix   = "//decentlint:allow"
+	hotpathMarker = "//decentlint:hotpath"
+)
+
+// allowDirective is one parsed //decentlint:allow comment.
+type allowDirective struct {
+	check  string
+	reason string
+	pos    token.Pos
+	line   int
+}
+
+// directiveSet indexes a package's allow directives by file and line.
+type directiveSet struct {
+	// byLine maps filename -> line -> checks allowed on that line.
+	byLine map[string]map[int]map[string]bool
+	// malformed collects directives missing a check name or a reason;
+	// the driver surfaces them as findings so an empty excuse cannot
+	// silently disable a contract.
+	malformed []allowDirective
+}
+
+// collectDirectives parses every //decentlint:allow comment in the package.
+func collectDirectives(pkg *Package) *directiveSet {
+	set := &directiveSet{byLine: make(map[string]map[int]map[string]bool)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				// Require a separator so "//decentlint:allowance" never parses.
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue
+				}
+				fields := strings.Fields(rest)
+				pos := pkg.Fset.Position(c.Pos())
+				d := allowDirective{pos: c.Pos(), line: pos.Line}
+				if len(fields) >= 1 {
+					d.check = fields[0]
+				}
+				if len(fields) >= 2 {
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				if d.check == "" || d.reason == "" {
+					set.malformed = append(set.malformed, d)
+					continue
+				}
+				file := set.byLine[pos.Filename]
+				if file == nil {
+					file = make(map[int]map[string]bool)
+					set.byLine[pos.Filename] = file
+				}
+				// The directive covers its own line (trailing form) and
+				// the next line (standalone form above a statement).
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					if file[line] == nil {
+						file[line] = make(map[string]bool)
+					}
+					file[line][d.check] = true
+				}
+			}
+		}
+	}
+	return set
+}
+
+// allows reports whether a finding of check at position is suppressed.
+func (s *directiveSet) allows(check string, pos token.Position) bool {
+	return s.byLine[pos.Filename][pos.Line][check]
+}
+
+// hasHotpathDirective reports whether fn's doc comment carries the
+// //decentlint:hotpath marker.
+func hasHotpathDirective(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		text := c.Text
+		if text == hotpathMarker || strings.HasPrefix(text, hotpathMarker+" ") {
+			return true
+		}
+	}
+	return false
+}

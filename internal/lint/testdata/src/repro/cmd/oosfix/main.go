@@ -1,0 +1,17 @@
+// Package main (oosfix) is a decentlint analysistest fixture: cmd
+// packages are outside the deterministic set, so wall clocks and
+// map-order output are not findings here.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	fmt.Println(time.Now())
+	m := map[string]int{"a": 1}
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

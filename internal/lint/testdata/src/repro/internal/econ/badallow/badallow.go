@@ -1,0 +1,11 @@
+// Package badallow is a decentlint analysistest fixture: a malformed
+// //decentlint:allow (missing reason) must not suppress anything and is
+// itself a finding.
+package badallow
+
+import "os"
+
+func read() string {
+	//decentlint:allow nondeterm
+	return os.Getenv("HOME")
+}

@@ -1,0 +1,15 @@
+// Package rsfix is a decentlint analysistest fixture: rngstream findings
+// outside the RNG-constructor packages, plus directive suppression.
+package rsfix
+
+import "math/rand"
+
+func newRNG(seed int64) *rand.Rand {
+	src := rand.NewSource(seed) // want `rand\.NewSource constructs an unnamed RNG`
+	return rand.New(src)        // want `rand\.New constructs an unnamed RNG`
+}
+
+func audited(seed int64) *rand.Rand {
+	//decentlint:allow rngstream fixture audited exception
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,33 @@
+// Package krfix is a decentlint analysistest fixture for the knobreg
+// analyzer: it mirrors the real registry shape (a package-level knobSpecs
+// map literal plus knobInt/knobFloat/knobIndex/scaledSize readers).
+package krfix
+
+// KnobSpec mirrors the registry entry shape.
+type KnobSpec struct {
+	Default float64
+	Desc    string
+}
+
+// Config mirrors the config the readers take.
+type Config struct{ Params map[string]float64 }
+
+var knobSpecs = map[string]KnobSpec{
+	"kr.alpha": {Default: 1, Desc: "fixture knob"},
+	"kr.beta":  {Default: 2, Desc: "fixture knob"},
+}
+
+func knobInt(cfg Config, name string) int       { return int(knobSpecs[name].Default) }
+func knobFloat(cfg Config, name string) float64 { return knobSpecs[name].Default }
+func knobIndex(cfg Config, name string) int     { return int(knobFloat(cfg, name)) }
+func scaledSize(cfg Config, name string) int    { return knobInt(cfg, name) }
+
+func reads(cfg Config, dyn string) {
+	_ = knobInt(cfg, "kr.alpha")
+	_ = knobFloat(cfg, "kr.beta")
+	_ = knobInt(cfg, "kr.gamma")   // want `knob "kr\.gamma" is not registered in knobSpecs`
+	_ = knobIndex(cfg, "kr.delta") // want `knob "kr\.delta" is not registered in knobSpecs`
+	_ = scaledSize(cfg, "kr.eps")  // want `knob "kr\.eps" is not registered in knobSpecs`
+	_ = knobInt(cfg, dyn)          // want `knobInt knob name is not a constant string`
+	_ = knobFloat(cfg, "kr.zeta")  //decentlint:allow knobreg fixture audited exception
+}

@@ -1,0 +1,19 @@
+// Package wallfix is a decentlint analysistest fixture: internal/harness
+// is on the wall-clock allowlist (job timing is measurement metadata, not
+// experiment output), but every other nondeterm check still applies.
+package wallfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+// timeJob is legal here: the harness times jobs by design.
+func timeJob() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+func draw() int {
+	return rand.Intn(6) // want `global math/rand\.Intn draws from the shared process stream`
+}

@@ -1,0 +1,26 @@
+// Package fffix is a decentlint analysistest fixture: floatfmt findings
+// in a render-path package, precision-pinned negatives, and suppression.
+package fffix
+
+import (
+	"fmt"
+	"strings"
+)
+
+type temp float64
+
+func formats(f float64, i int, s string, fs []float64, n temp, b *strings.Builder) {
+	_ = fmt.Sprintf("%v", f)       // want `%v in fmt\.Sprintf renders float64`
+	_ = fmt.Sprintf("%g", f)       // want `%g in fmt\.Sprintf renders float64`
+	_ = fmt.Sprintf("%v", fs)      // want `%v in fmt\.Sprintf renders \[\]float64`
+	_ = fmt.Sprintf("%v", n)       // want `%v in fmt\.Sprintf renders .*temp`
+	_ = fmt.Sprint(f)              // want `fmt\.Sprint renders float64`
+	fmt.Fprintf(b, "%v", f)        // want `%v in fmt\.Fprintf renders float64`
+	_ = fmt.Sprintf("%s %v", s, f) // want `%v in fmt\.Sprintf renders float64`
+	_ = fmt.Sprintf("%.6g", f)
+	_ = fmt.Sprintf("%8.3f", f)
+	_ = fmt.Sprintf("%d", i)
+	_ = fmt.Sprintf("%v", s)
+	_ = fmt.Sprintf("%v", i)
+	_ = fmt.Sprintf("%v", f) //decentlint:allow floatfmt fixture audited exception
+}

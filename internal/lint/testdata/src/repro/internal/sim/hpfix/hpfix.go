@@ -1,0 +1,78 @@
+// Package hpfix is a decentlint analysistest fixture: hotpath findings in
+// annotated functions, allocation-free negatives, and the same shapes in
+// an unannotated function producing nothing.
+package hpfix
+
+import "fmt"
+
+type payload struct {
+	Ctx any
+	A   int64
+}
+
+type point struct{ x, y int }
+
+type state struct {
+	buf  []int
+	sink any
+}
+
+//decentlint:hotpath
+func hotClosure() func() {
+	return func() {} // want `closure allocation in hot path hotClosure`
+}
+
+//decentlint:hotpath
+func hotFmt(n int) {
+	fmt.Println(n) // want `fmt\.Println call in hot path hotFmt allocates`
+}
+
+//decentlint:hotpath
+func hotAppend(s *state, v int) {
+	s.buf = append(s.buf, v) // want `append without locally preallocated capacity in hot path hotAppend`
+}
+
+//decentlint:hotpath
+func hotPrealloc(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+//decentlint:hotpath
+func hotIface(s *state, p point) {
+	s.sink = p // want `conversion of non-pointer-shaped .*point to interface in hot path hotIface`
+}
+
+//decentlint:hotpath
+func hotIfaceField(p point) payload {
+	return payload{Ctx: p, A: 1} // want `conversion of non-pointer-shaped .*point to interface in hot path hotIfaceField`
+}
+
+//decentlint:hotpath
+func hotIfaceOK(s *state, p *point, v int64, fn func()) payload {
+	s.sink = p
+	s.sink = fn
+	return payload{Ctx: p, A: v}
+}
+
+//decentlint:hotpath
+func hotConstOK(s *state) {
+	s.sink = 42
+	s.sink = "literal"
+	s.sink = nil
+}
+
+//decentlint:hotpath
+func hotAudited(s *state, v int) {
+	s.buf = append(s.buf, v) //decentlint:allow hotpath fixture audited exception
+}
+
+func coldEverything(s *state, p point, n int) func() {
+	s.sink = p
+	s.buf = append(s.buf, n)
+	fmt.Println(n)
+	return func() {}
+}

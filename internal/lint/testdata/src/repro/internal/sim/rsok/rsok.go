@@ -1,0 +1,11 @@
+// Package rsok is a decentlint analysistest fixture: internal/sim is an
+// RNG-constructor package, so raw rand construction is allowed here (and
+// the constructors are likewise exempt from nondeterm's global-stream ban).
+package rsok
+
+import "math/rand"
+
+// NewRaw is legal: sim owns RNG construction.
+func NewRaw(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -324,6 +324,8 @@ func (n *Net) reachable(from, to NodeID) bool {
 // Aux the caller's deliver callback, A/B the endpoints and C the size. The
 // receiver must still be online and reachable at delivery time — a message
 // in flight when a partition forms (or the receiver goes down) is dropped.
+//
+//decentlint:hotpath
 func deliverSend(p sim.Payload) {
 	n := p.Ctx.(*Net)
 	from, to := NodeID(p.A), NodeID(p.B)
@@ -338,6 +340,8 @@ func deliverSend(p sim.Payload) {
 
 // deliverBroadcast mirrors deliverSend for Broadcast's per-receiver
 // callback, which takes the receiver's id.
+//
+//decentlint:hotpath
 func deliverBroadcast(p sim.Payload) {
 	n := p.Ctx.(*Net)
 	from, to := NodeID(p.A), NodeID(p.B)
@@ -361,6 +365,8 @@ func deliverBroadcast(p sim.Payload) {
 // rides the sim kernel's pooled handler events, so a steady-state Send
 // performs zero allocations (the deliver func itself should be reused by
 // callers that care).
+//
+//decentlint:hotpath
 func (n *Net) Send(from, to NodeID, size int, deliver func()) bool {
 	if !n.valid(from) || !n.valid(to) || deliver == nil {
 		return false
@@ -392,6 +398,8 @@ func (n *Net) Send(from, to NodeID, size int, deliver func()) bool {
 // uplink slot and traffic (it was transmitted, then dropped in flight), so
 // raising loss never speeds up the surviving copies. It returns the number
 // of deliveries scheduled.
+//
+//decentlint:hotpath
 func (n *Net) Broadcast(from NodeID, size int, deliver func(to NodeID)) int {
 	if !n.valid(from) || deliver == nil || !n.nodes[from].up {
 		return 0
@@ -433,6 +441,8 @@ func (n *Net) Broadcast(from NodeID, size int, deliver func(to NodeID)) int {
 // advancing their own notion of time. As with Send, a message to an
 // unreachable peer charges nothing, while one lost in flight bills the
 // sender but not the receiver.
+//
+//decentlint:hotpath
 func (n *Net) Transfer(from, to NodeID, size int) (time.Duration, bool) {
 	if !n.valid(from) || !n.valid(to) {
 		return 0, false

@@ -66,7 +66,7 @@ func readHost() (heapLive, allocBytes, allocs, gcCycles uint64) {
 // metrics as the baseline for a later Sample.
 func StartHostWatch() *HostWatch {
 	_, ab, ac, gc := readHost()
-	return &HostWatch{start: time.Now(), allocBytes: ab, allocs: ac, gcCycles: gc}
+	return &HostWatch{start: time.Now(), allocBytes: ab, allocs: ac, gcCycles: gc} //decentlint:allow nondeterm HostWatch measures machine facts; samples are quarantined as volatile
 }
 
 // Sample reads the host metrics again and returns the delta since the
@@ -77,6 +77,7 @@ func (w *HostWatch) Sample() HostSample {
 	}
 	live, ab, ac, gc := readHost()
 	return HostSample{
+		//decentlint:allow nondeterm HostWatch measures machine facts; samples are quarantined as volatile
 		WallNanos:     time.Since(w.start).Nanoseconds(),
 		HeapLiveBytes: live,
 		AllocBytes:    ab - w.allocBytes,

@@ -3,6 +3,7 @@ package permissioned
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/ledger"
@@ -275,8 +276,16 @@ func (nw *Network) Start() error {
 	}
 	nw.started = true
 	nw.orderer.Start()
-	for _, ch := range nw.channels {
-		ch := ch
+	// Iterate channels in sorted-name order: each Every call assigns kernel
+	// sequence numbers, and same-instant block cuts tie-break by sequence,
+	// so map order here would leak into the event schedule.
+	names := make([]string, 0, len(nw.channels))
+	for name := range nw.channels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ch := nw.channels[name]
 		t, err := nw.sim.Every(nw.cfg.BlockTimeout, func() { nw.cutBlock(ch) })
 		if err != nil {
 			return err

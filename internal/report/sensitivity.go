@@ -301,7 +301,7 @@ func renderSensitivitySection(e core.Experiment, baseline *harness.GroupView, se
 	var b strings.Builder
 	var figures []File
 	b.WriteString("## Sensitivity\n\n")
-	fmt.Fprintf(&b, "Each registered knob swept over up to %d grid values (floor → default → stretch; see DESIGN.md) × seeds {%s} at scale %g. ",
+	fmt.Fprintf(&b, "Each registered knob swept over up to %d grid values (floor → default → stretch; see DESIGN.md) × seeds {%s} at scale %.4g. ",
 		sens.gridPoints, gen.seedsLabel(), gen.scale)
 	b.WriteString("Figures plot each headline metric's cross-seed mean with a shaded ±95% CI band; the baseline (default) point reuses the replications above. The stability table lists the knob values that flip a check's majority vote.\n\n")
 

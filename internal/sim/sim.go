@@ -75,6 +75,8 @@ type Handle struct {
 // immediately reusable — a schedule/cancel loop allocates nothing.
 // Canceling an event that already fired (or was already canceled), or a
 // zero Handle, is a no-op.
+//
+//decentlint:hotpath
 func (h Handle) Cancel() {
 	ev := h.ev
 	if ev == nil || ev.gen != h.gen || ev.index < 0 {
@@ -197,6 +199,8 @@ func (s *Sim) Seed() int64 { return s.seed }
 func (s *Sim) Observer() *obs.Collector { return s.observer }
 
 // push enqueues an event slot and tracks the schedule's high-water mark.
+//
+//decentlint:hotpath
 func (s *Sim) push(ev *event) {
 	ev.seq = s.seq
 	s.seq++
@@ -238,6 +242,8 @@ func (s *Sim) After(d time.Duration, fn func()) Handle {
 // returned and the event cannot be canceled; use At when you need
 // cancellation. Scheduling in the past or with a nil handler is a no-op
 // returning false.
+//
+//decentlint:hotpath
 func (s *Sim) AtFunc(t time.Duration, h Handler, p Payload) bool {
 	if t < s.now || h == nil {
 		return false
@@ -251,6 +257,8 @@ func (s *Sim) AtFunc(t time.Duration, h Handler, p Payload) bool {
 // AfterFunc schedules h to run with payload p after delay d — the pooled,
 // closure-free variant of After. Negative delays clamp to zero. See AtFunc
 // for the recycling contract.
+//
+//decentlint:hotpath
 func (s *Sim) AfterFunc(d time.Duration, h Handler, p Payload) bool {
 	if d < 0 {
 		d = 0
@@ -258,7 +266,10 @@ func (s *Sim) AfterFunc(d time.Duration, h Handler, p Payload) bool {
 	return s.AtFunc(s.now+d, h, p)
 }
 
-// takeEvent pops a recycled event slot or allocates a fresh one.
+// takeEvent pops a recycled event slot or allocates a fresh one; the
+// allocation happens only on pool miss, so steady state stays at zero.
+//
+//decentlint:hotpath
 func (s *Sim) takeEvent() *event {
 	if ev := s.free; ev != nil {
 		s.free = ev.nextFree
@@ -270,6 +281,8 @@ func (s *Sim) takeEvent() *event {
 
 // releaseEvent clears a fired or canceled event, bumps its generation so
 // outstanding Handles go inert, and pushes it on the free list.
+//
+//decentlint:hotpath
 func (s *Sim) releaseEvent(ev *event) {
 	gen := ev.gen + 1
 	*ev = event{owner: s, gen: gen, index: -1, nextFree: s.free}
@@ -406,15 +419,17 @@ func (q eventQueue) Swap(i, j int) {
 	q[j].index = j
 }
 
+//decentlint:hotpath
 func (q *eventQueue) Push(x any) {
 	ev, ok := x.(*event)
 	if !ok {
 		return
 	}
 	ev.index = len(*q)
-	*q = append(*q, ev)
+	*q = append(*q, ev) //decentlint:allow hotpath backing-array growth is amortized; slots recycle through the free list in steady state
 }
 
+//decentlint:hotpath
 func (q *eventQueue) Pop() any {
 	old := *q
 	n := len(old)
