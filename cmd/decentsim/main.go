@@ -9,6 +9,7 @@
 //	decentsim -seed 7 -scale 0.5 run E03
 //	decentsim run -csv E06             # emit tables as CSV
 //	decentsim run -json -parallel 4 all
+//	decentsim run -shards 4 E03        # sharded-kernel runs fan out across 4 workers
 //	decentsim sweep -parallel 8 -json -seeds 1..10 E03 E06
 //	decentsim sweep -seeds 1..5 -set e03.lookups=100,200 E03
 //	decentsim sweep -seeds 1..3 -set e06.shards=16,64,256 -set e06.crossshard=0.1,0.5 E06
@@ -76,6 +77,7 @@ type options struct {
 	resources  bool
 	profile    string
 	traceLimit int
+	shards     int
 }
 
 // knobFlags collects repeatable -set name=v1,v2 knob specifications.
@@ -122,10 +124,11 @@ func (o *options) register(fs *flag.FlagSet) {
 	fs.BoolVar(&o.resources, "resources", o.resources, "report: attach run telemetry and render a per-experiment Resources appendix plus resources/host.json")
 	fs.StringVar(&o.profile, "profile", o.profile, "sweep/rep/report: write per-run CPU and heap pprof profiles into this directory")
 	fs.IntVar(&o.traceLimit, "trace-limit", o.traceLimit, "trace: event buffer limit (default 100000; overflow is counted, not stored)")
+	fs.IntVar(&o.shards, "shards", o.shards, "intra-run worker goroutines for experiments on the sharded kernel (results are byte-identical at any value)")
 }
 
 func run(args []string, out io.Writer) error {
-	opts := options{seed: 1, scale: 1, reps: 10, out: "report"}
+	opts := options{seed: 1, scale: 1, reps: 10, out: "report", shards: 1}
 	global := flag.NewFlagSet("decentsim", flag.ContinueOnError)
 	opts.register(global)
 	if err := global.Parse(args); err != nil {
@@ -204,6 +207,7 @@ func run(args []string, out io.Writer) error {
 			"drift":       "only the rep subcommand writes drift bounds",
 			"resources":   "only the report subcommand renders the resources appendix",
 			"profile":     "only the sweep, rep, and report subcommands run on the profiled harness",
+			"shards":      "sharded runs do not register the transport instruments a trace records",
 		},
 	}
 	if cmd == "list" && len(provided) > 0 {
@@ -231,6 +235,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if (cmd == "run" || cmd == "trace") && opts.seed < 1 {
 		return fmt.Errorf("%s: -seed must be >= 1 (got %d)", cmd, opts.seed)
+	}
+	if provided["shards"] && opts.shards < 1 {
+		return fmt.Errorf("%s: -shards must be >= 1 (got %d)", cmd, opts.shards)
 	}
 	if provided["trace-limit"] && opts.traceLimit < 1 {
 		return fmt.Errorf("trace: -trace-limit must be >= 1 (got %d)", opts.traceLimit)
@@ -320,6 +327,7 @@ func runCmd(out io.Writer, reg *decent.Registry, opts *options, ids []string) er
 		Seeds:       []int64{opts.seed},
 		Scales:      []float64{opts.scale},
 		Params:      opts.set.params,
+		Shards:      opts.shards,
 	}
 	// Knob ownership is validated by the same rule sweeps use.
 	if err := grid.Validate(); err != nil {
@@ -433,6 +441,7 @@ func reportCmd(out io.Writer, reg *decent.Registry, opts *options, ids []string)
 		IDs:         ids,
 		Scale:       opts.scale,
 		Workers:     opts.parallel,
+		Shards:      opts.shards,
 		Sensitivity: opts.sensitivity,
 		GridPoints:  opts.gridPoints,
 		Resources:   opts.resources,
@@ -559,7 +568,7 @@ func sweepCmd(out io.Writer, reg *decent.Registry, opts *options, ids []string, 
 			return err
 		}
 	}
-	sweep := decent.Sweep{Experiments: ids, Params: opts.set.params}
+	sweep := decent.Sweep{Experiments: ids, Params: opts.set.params, Shards: opts.shards}
 	switch {
 	case opts.seeds != "":
 		if sweep.Seeds, err = decent.ParseSeeds(opts.seeds); err != nil {

@@ -194,8 +194,17 @@ func e02FreeRiding() core.Experiment {
 	}
 }
 
+// e03Shards is E03's fixed logical shard count. It is a structural constant
+// of the runner — NOT the -shards knob, which only sets how many workers
+// execute these logical shards — so the run's event structure, and with it
+// every exported byte, is identical at any worker count.
+const e03Shards = 8
+
 // e03DHTLookup reproduces §II-A (Jiménez et al.): KAD lookups within 5 s at
 // the 90th percentile vs ~1 minute medians on the BitTorrent Mainline DHT.
+// It is the first runner on the sharded kernel: nodes partition round-robin
+// across e03Shards logical shards, each lookup's state lives on its origin's
+// shard, and windows are bounded by the all-Europe delay floor.
 func e03DHTLookup() core.Experiment {
 	return &exp{
 		id:      "E03",
@@ -219,18 +228,28 @@ func e03DHTLookup() core.Experiment {
 				return err
 			}
 			measure := func(kcfg kademlia.Config, name string) (*metrics.Sample, float64, error) {
-				s := newSim(cfg)
-				nm := netmodel.New(s, netmodel.WithJitter(0.2))
-				nw := kademlia.NewNetwork(s, nm, kcfg)
+				// The conservative window: every message in this all-Europe
+				// topology takes at least the jittered intra-EU floor, so no
+				// shard can affect another inside a window of that length.
+				const jitter = 0.2
+				ss, err := newShardedSim(cfg, e03Shards, netmodel.DelayFloor(jitter, netmodel.Europe))
+				if err != nil {
+					return nil, 0, err
+				}
+				nm := netmodel.NewSharded(ss, netmodel.WithJitter(jitter))
+				nw := kademlia.NewShardedNetwork(ss, nm, kcfg)
 				for i := 0; i < n; i++ {
 					nw.AddNode(netmodel.Europe)
 				}
 				if err := nw.Bootstrap(); err != nil {
 					return nil, 0, err
 				}
-				var sample metrics.Sample
-				converged := 0
-				g := s.Stream("e03." + name)
+				// Lookup callbacks fire on the origin's shard, so results
+				// accumulate in shard-owned slots and merge in shard order
+				// after the run — identical at any worker count.
+				var samples [e03Shards]metrics.Sample
+				var converged [e03Shards]int
+				g := ss.Shard(0).Stream("e03." + name)
 				for i := 0; i < lookups; i++ {
 					// Origins must be responsive participants (measurement
 					// studies instrument live clients).
@@ -238,17 +257,26 @@ func e03DHTLookup() core.Experiment {
 					for origin == nil || !origin.Responsive() {
 						origin = nw.Nodes()[g.Intn(n)]
 					}
+					shard := nm.ShardOf(origin.Addr)
 					nw.Lookup(origin, overlay.RandomID(g), func(res kademlia.Result) {
-						sample.AddDuration(res.Latency)
+						samples[shard].AddDuration(res.Latency)
 						if res.Converged {
-							converged++
+							converged[shard]++
 						}
 					})
 				}
-				if err := s.Run(); err != nil {
+				if err := ss.Run(); err != nil {
 					return nil, 0, err
 				}
-				return &sample, float64(converged) / float64(lookups), nil
+				var sample metrics.Sample
+				ok := 0
+				for s := range samples {
+					for _, v := range samples[s].Values() {
+						sample.Add(v)
+					}
+					ok += converged[s]
+				}
+				return &sample, float64(ok) / float64(lookups), nil
 			}
 			kad, kadOK, err := measure(kademlia.KADConfig(), "kad")
 			if err != nil {

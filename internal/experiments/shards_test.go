@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// runJSON executes one experiment and returns its exported bytes.
+func runJSON(t *testing.T, e core.Experiment, cfg core.Config) []byte {
+	t.Helper()
+	res, err := e.Run(cfg)
+	if err != nil {
+		t.Fatalf("run %s (shards=%d): %v", e.ID(), cfg.Shards, err)
+	}
+	enc, err := res.JSON()
+	if err != nil {
+		t.Fatalf("encode %s: %v", e.ID(), err)
+	}
+	return enc
+}
+
+// TestShardWorkerEquivalence is the metamorphic equivalence suite for the
+// sharded kernel: every experiment in the registry must export byte-identical
+// results at shards=1 and shards=4. For sequential runners the knob is inert
+// by construction; for sharded runners (E03) this is the shard-count
+// invisibility contract — the worker count must never leak into any exported
+// byte. CI runs this suite on every push, and the report determinism gate
+// re-checks the same property across whole report trees with -shards 4.
+func TestShardWorkerEquivalence(t *testing.T) {
+	reg, err := Registry()
+	if err != nil {
+		t.Fatalf("Registry: %v", err)
+	}
+	for _, e := range reg.All() {
+		e := e
+		t.Run(e.ID(), func(t *testing.T) {
+			seq := runJSON(t, e, core.Config{Seed: 1, Scale: 0.25, Shards: 1})
+			par := runJSON(t, e, core.Config{Seed: 1, Scale: 0.25, Shards: 4})
+			if !bytes.Equal(seq, par) {
+				t.Errorf("%s exports differ between shards=1 (%d bytes) and shards=4 (%d bytes); the worker count leaked into results",
+					e.ID(), len(seq), len(par))
+			}
+		})
+	}
+}
+
+// TestShardedRunnerGOMAXPROCSMatrix drives the sharded runner (E03) across
+// the same GOMAXPROCS matrix the CI race job uses, at full worker fan-out,
+// and requires byte-identical exports: scheduler pressure must not perturb
+// the merge order either.
+func TestShardedRunnerGOMAXPROCSMatrix(t *testing.T) {
+	reg, err := Registry()
+	if err != nil {
+		t.Fatalf("Registry: %v", err)
+	}
+	e, err := reg.Get("E03")
+	if err != nil {
+		t.Fatalf("Get E03: %v", err)
+	}
+	base := runJSON(t, e, core.Config{Seed: 1, Scale: 0.25, Shards: 1})
+	for _, procs := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("GOMAXPROCS=%d", procs), func(t *testing.T) {
+			old := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(old)
+			got := runJSON(t, e, core.Config{Seed: 1, Scale: 0.25, Shards: 8})
+			if !bytes.Equal(base, got) {
+				t.Errorf("E03 at shards=8, GOMAXPROCS=%d diverged from the sequential run", procs)
+			}
+		})
+	}
+}

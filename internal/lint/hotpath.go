@@ -12,13 +12,18 @@ import (
 // (allocs/op must stay 0); this analyzer catches the same regressions at
 // lint time, before a benchmark run: closure allocations, fmt calls,
 // interface conversions of non-pointer-shaped values, and appends to
-// slices without locally visible preallocated capacity.
+// slices without locally visible preallocated capacity. Hot paths are
+// also on the determinism-critical spine (the kernel schedule loop and
+// the sharded mailbox/merge path in particular), so map iteration —
+// whose order Go randomizes per run — is flagged as well: a map-order-
+// dependent write there would leak scheduler randomness into results.
 var HotPath = &analysis.Analyzer{
 	Name: "hotpath",
 	Doc: "functions annotated //decentlint:hotpath must not allocate: no " +
 		"func literals, no fmt calls, no interface conversions of " +
 		"non-pointer-shaped non-constant values, and no append to a slice " +
-		"that was not locally made with explicit capacity",
+		"that was not locally made with explicit capacity; they must also " +
+		"not range over maps (iteration order is randomized)",
 	Run: runHotPath,
 }
 
@@ -59,6 +64,12 @@ func checkHotBody(pass *analysis.Pass, fd *ast.FuncDecl) {
 			if results != nil && len(n.Results) == results.Len() {
 				for i, r := range n.Results {
 					checkIfaceConv(pass, fd, results.At(i).Type(), r)
+				}
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "map iteration in hot path %s has randomized order; iterate a slice (sorted once, off the hot path) instead", fd.Name.Name)
 				}
 			}
 		case *ast.CompositeLit:

@@ -70,9 +70,37 @@ func hotAudited(s *state, v int) {
 	s.buf = append(s.buf, v) //decentlint:allow hotpath fixture audited exception
 }
 
-func coldEverything(s *state, p point, n int) func() {
+//decentlint:hotpath
+func hotMapRange(m map[int]int) int {
+	sum := 0
+	for _, v := range m { // want `map iteration in hot path hotMapRange has randomized order`
+		sum += v
+	}
+	return sum
+}
+
+//decentlint:hotpath
+func hotMapRangeAudited(m map[int]int, out []int) []int {
+	for k := range m { //decentlint:allow hotpath fixture audited exception
+		out = append(out, k) //decentlint:allow hotpath fixture audited exception
+	}
+	return out
+}
+
+//decentlint:hotpath
+func hotSliceRangeOK(s []int) int {
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	return sum
+}
+
+func coldEverything(s *state, p point, n int, m map[int]int) func() {
 	s.sink = p
 	s.buf = append(s.buf, n)
 	fmt.Println(n)
+	for range m {
+	}
 	return func() {}
 }

@@ -95,7 +95,11 @@ type Net struct {
 	partOwner  *window
 	outOwner   map[NodeID]*window
 
-	// traffic accounting
+	// sharded-execution binding (shard.go); nil on sequential nets.
+	sh *sharding
+
+	// traffic accounting. Entries are touched only by the owning node's
+	// shard, so the slices need no synchronization in sharded runs.
 	bytesSent  []int64
 	bytesRecvd []int64
 	msgsSent   []int64
@@ -168,6 +172,9 @@ func (n *Net) AddNodeLink(region Region, uplinkBps, downlinkBps float64) NodeID 
 	n.bytesSent = append(n.bytesSent, 0)
 	n.bytesRecvd = append(n.bytesRecvd, 0)
 	n.msgsSent = append(n.msgsSent, 0)
+	if n.sh != nil {
+		n.sh.owner = append(n.sh.owner, int32((len(n.nodes)-1)%len(n.sh.kerns)))
+	}
 	n.col.SetNodeSpace(len(n.nodes))
 	return NodeID(len(n.nodes) - 1)
 }
@@ -207,13 +214,15 @@ func (n *Net) valid(id NodeID) bool {
 }
 
 // Latency returns a jittered one-way propagation delay between two nodes.
+// The draw comes from the sending node's stream (the net-wide stream on
+// sequential nets; the owning shard's stream on sharded ones).
 func (n *Net) Latency(from, to NodeID) time.Duration {
 	if !n.valid(from) || !n.valid(to) {
 		return 0
 	}
 	a, b := n.nodes[from].region, n.nodes[to].region
 	base := time.Duration(baseOneWay[a-1][b-1]) * time.Millisecond
-	return n.rng.Jitter(base, n.jitter)
+	return n.rngFor(from).Jitter(base, n.jitter)
 }
 
 // TransferTime returns serialization delay for size bytes across the pair
@@ -377,15 +386,17 @@ func (n *Net) Send(from, to NodeID, size int, deliver func()) bool {
 	}
 	n.bytesSent[from] += int64(size)
 	n.msgsSent[from]++
-	if n.loss > 0 && n.rng.Bool(n.loss) {
+	if n.loss > 0 && n.rngFor(from).Bool(n.loss) {
 		n.noteLossDrop(from, to)
 		return false
 	}
 	delay := n.TransferTime(from, to, size) + n.Latency(from, to)
 	n.noteSend(from, to, size, delay)
-	return n.sim.AfterFunc(delay, deliverSend, sim.Payload{
-		Ctx: n, Aux: deliver, A: int64(from), B: int64(to), C: int64(size),
-	})
+	p := sim.Payload{Ctx: n, Aux: deliver, A: int64(from), B: int64(to), C: int64(size)}
+	if n.sh != nil {
+		return n.shSchedule(from, to, delay, deliverSend, p)
+	}
+	return n.sim.AfterFunc(delay, deliverSend, p)
 }
 
 // Broadcast schedules one-pass delivery of size bytes from one node to
@@ -419,15 +430,20 @@ func (n *Net) Broadcast(from NodeID, size int, deliver func(to NodeID)) int {
 		uplink += perCopy
 		n.bytesSent[from] += int64(size)
 		n.msgsSent[from]++
-		if n.loss > 0 && n.rng.Bool(n.loss) {
+		if n.loss > 0 && n.rngFor(from).Bool(n.loss) {
 			n.noteLossDrop(from, to)
 			continue
 		}
 		delay := uplink + serialization(n.nodes[to].downBps, size) + n.Latency(from, to)
 		n.noteSend(from, to, size, delay)
-		if n.sim.AfterFunc(delay, deliverBroadcast, sim.Payload{
-			Ctx: n, Aux: deliver, A: int64(from), B: int64(to), C: int64(size),
-		}) {
+		p := sim.Payload{Ctx: n, Aux: deliver, A: int64(from), B: int64(to), C: int64(size)}
+		ok := false
+		if n.sh != nil {
+			ok = n.shSchedule(from, to, delay, deliverBroadcast, p)
+		} else {
+			ok = n.sim.AfterFunc(delay, deliverBroadcast, p)
+		}
+		if ok {
 			scheduled++
 		}
 	}
@@ -453,7 +469,7 @@ func (n *Net) Transfer(from, to NodeID, size int) (time.Duration, bool) {
 	}
 	n.bytesSent[from] += int64(size)
 	n.msgsSent[from]++
-	if n.loss > 0 && n.rng.Bool(n.loss) {
+	if n.loss > 0 && n.rngFor(from).Bool(n.loss) {
 		n.noteLossDrop(from, to)
 		return 0, false
 	}

@@ -133,6 +133,9 @@ func (n *Net) ScheduleOutageWindow(start, end time.Duration, id NodeID) error {
 }
 
 func (n *Net) checkWindow(start, end time.Duration) error {
+	if n.sh != nil {
+		return fmt.Errorf("netmodel: condition windows mutate state shared across shards and are not supported on sharded nets")
+	}
 	if start < n.sim.Now() {
 		return fmt.Errorf("netmodel: window start %v is in the past (now %v)", start, n.sim.Now())
 	}

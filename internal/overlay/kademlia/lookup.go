@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/overlay"
+	"repro/internal/sim"
 )
 
 // Result summarizes one iterative lookup.
@@ -38,6 +39,7 @@ type candidate struct {
 
 type lookup struct {
 	nw     *Network
+	kern   *sim.Sim // the origin's kernel: every step of the lookup runs on it
 	origin *Node
 	target overlay.ID
 
@@ -55,12 +57,14 @@ type lookup struct {
 // invoking done exactly once on termination. The origin must be online;
 // otherwise done fires immediately with an empty result.
 func (nw *Network) Lookup(origin *Node, target overlay.ID, done func(Result)) {
+	kern := nw.kern(origin.Addr)
 	l := &lookup{
 		nw:     nw,
+		kern:   kern,
 		origin: origin,
 		target: target,
 		seen:   make(map[overlay.ID]bool),
-		start:  nw.sim.Now(),
+		start:  kern.Now(),
 		done:   done,
 	}
 	if !origin.online {
@@ -171,7 +175,7 @@ func (l *lookup) finish(converged bool) {
 			Closest:   closest,
 			RPCs:      l.rpcs,
 			Timeouts:  l.timeouts,
-			Latency:   l.nw.sim.Now() - l.start,
+			Latency:   l.kern.Now() - l.start,
 			Converged: converged,
 		})
 	}

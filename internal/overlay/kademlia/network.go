@@ -108,6 +108,7 @@ func (n *Node) Table() *Table { return n.table }
 // Network is a simulated Kademlia deployment over a netmodel.Net.
 type Network struct {
 	sim *sim.Sim
+	ss  *sim.ShardedSim // nil when the deployment runs on one kernel
 	net *netmodel.Net
 	cfg Config
 	rng *sim.RNG
@@ -115,8 +116,20 @@ type Network struct {
 	nodes  []*Node
 	byAddr map[netmodel.NodeID]*Node
 
+	// Sequential-mode RPC accounting.
 	rpcs     int64
 	timeouts int64
+	// Sharded-mode accounting: one slot per shard, each written only by
+	// its owning worker, padded apart so the counters never share a cache
+	// line. Summed by RPCs/Timeouts after the run.
+	shRPCs     []paddedCount
+	shTimeouts []paddedCount
+}
+
+// paddedCount keeps per-shard counters on distinct cache lines.
+type paddedCount struct {
+	n int64
+	_ [56]byte
 }
 
 // NewNetwork creates an empty deployment.
@@ -130,6 +143,56 @@ func NewNetwork(s *sim.Sim, nm *netmodel.Net, cfg Config) *Network {
 	}
 }
 
+// NewShardedNetwork creates an empty deployment driven by a sharded kernel
+// over a sharded net (netmodel.NewSharded on the same driver). A node's
+// RPC timeouts and lookup state live on the shard owning it, request
+// deliveries execute on the receiver's shard, and replies ride back to the
+// origin's — so lookups from origins on different shards proceed
+// concurrently inside conservative windows with no shared mutable state.
+// Setup (AddNode, Bootstrap, issuing Lookups) stays sequential; identity
+// and bootstrap randomness draw from shard 0's "kademlia" stream. Churn
+// helpers that mutate shared topology (SetOnline, Rejoin) are setup-time
+// only on sharded deployments.
+func NewShardedNetwork(ss *sim.ShardedSim, nm *netmodel.Net, cfg Config) *Network {
+	return &Network{
+		sim:        ss.Shard(0),
+		ss:         ss,
+		net:        nm,
+		cfg:        cfg.withDefaults(),
+		rng:        ss.Shard(0).Stream("kademlia"),
+		byAddr:     make(map[netmodel.NodeID]*Node),
+		shRPCs:     make([]paddedCount, ss.ShardCount()),
+		shTimeouts: make([]paddedCount, ss.ShardCount()),
+	}
+}
+
+// kern returns the kernel a node's control events (timeouts, latency
+// stamps) run on.
+func (nw *Network) kern(addr netmodel.NodeID) *sim.Sim {
+	if nw.ss == nil {
+		return nw.sim
+	}
+	return nw.net.Kernel(addr)
+}
+
+// addRPC and addTimeout bump the accounting slot owned by the origin's
+// shard; sequential deployments keep the plain counters.
+func (nw *Network) addRPC(origin netmodel.NodeID) {
+	if nw.ss == nil {
+		nw.rpcs++
+		return
+	}
+	nw.shRPCs[nw.net.ShardOf(origin)].n++
+}
+
+func (nw *Network) addTimeout(origin netmodel.NodeID) {
+	if nw.ss == nil {
+		nw.timeouts++
+		return
+	}
+	nw.shTimeouts[nw.net.ShardOf(origin)].n++
+}
+
 // Config returns the effective (defaulted) configuration.
 func (nw *Network) Config() Config { return nw.cfg }
 
@@ -138,10 +201,22 @@ func (nw *Network) Config() Config { return nw.cfg }
 func (nw *Network) Nodes() []*Node { return nw.nodes }
 
 // RPCs returns the total FIND_NODE queries sent.
-func (nw *Network) RPCs() int64 { return nw.rpcs }
+func (nw *Network) RPCs() int64 {
+	total := nw.rpcs
+	for i := range nw.shRPCs {
+		total += nw.shRPCs[i].n
+	}
+	return total
+}
 
 // Timeouts returns the total queries that expired without an answer.
-func (nw *Network) Timeouts() int64 { return nw.timeouts }
+func (nw *Network) Timeouts() int64 {
+	total := nw.timeouts
+	for i := range nw.shTimeouts {
+		total += nw.shTimeouts[i].n
+	}
+	return total
+}
 
 // AddNode attaches a new honest node in the given region. Responsiveness is
 // drawn from Config.UnresponsiveFrac.
@@ -304,9 +379,12 @@ func (nw *Network) ClosestOnline(target overlay.ID, k int) []*Node {
 // findNode issues one FIND_NODE RPC and invokes onDone exactly once with
 // either the contacts from the reply or ok=false on timeout/drop.
 func (nw *Network) findNode(from *Node, to Contact, target overlay.ID, onDone func(contacts []Contact, ok bool)) {
-	nw.rpcs++
+	nw.addRPC(from.Addr)
 	answered := false
 	var timeout sim.Handle
+	// finish runs on the origin's kernel either way: the timeout is
+	// scheduled there, and the reply delivery below executes on the
+	// origin's shard because the response Send targets from.Addr.
 	finish := func(contacts []Contact, ok bool) {
 		if answered {
 			return
@@ -314,11 +392,11 @@ func (nw *Network) findNode(from *Node, to Contact, target overlay.ID, onDone fu
 		answered = true
 		timeout.Cancel()
 		if !ok {
-			nw.timeouts++
+			nw.addTimeout(from.Addr)
 		}
 		onDone(contacts, ok)
 	}
-	timeout = nw.sim.After(nw.cfg.RPCTimeout, func() { finish(nil, false) })
+	timeout = nw.kern(from.Addr).After(nw.cfg.RPCTimeout, func() { finish(nil, false) })
 
 	nw.net.Send(from.Addr, to.Addr, nw.cfg.ReqSize, func() {
 		recv, ok := nw.byAddr[to.Addr]

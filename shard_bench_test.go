@@ -1,0 +1,38 @@
+package decent
+
+// BenchmarkShardedRun is the sharded-kernel scaling curve: the one
+// experiment on the sharded executor (E03, eight logical shards) driven at
+// full scale with 1, 2, 4, and 8 worker goroutines. The logical shard
+// count is fixed — Config.Shards sets workers only — so every point of the
+// curve produces byte-identical results and the curve isolates pure
+// execution parallelism. CI exports it via cmd/benchjson as the
+// BENCH_shard.json artifact; the committed copy records the reference
+// numbers for the machine documented in DESIGN.md. On a single-CPU host
+// the curve is flat (workers just take turns) — speedup claims only mean
+// anything alongside the host's core count.
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkShardedRun(b *testing.B) {
+	reg, err := Experiments()
+	if err != nil {
+		b.Fatalf("registry: %v", err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := reg.Run("E03", Config{Seed: int64(i + 1), Scale: 1, Shards: workers})
+				if err != nil {
+					b.Fatalf("run E03 (shards=%d): %v", workers, err)
+				}
+				if !res.Reproduced() {
+					b.Fatalf("E03 shape checks failed at shards=%d", workers)
+				}
+			}
+		})
+	}
+}
