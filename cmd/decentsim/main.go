@@ -20,6 +20,10 @@
 //	decentsim report -sensitivity all  # + per-knob sensitivity pages
 //	decentsim report -sensitivity -grid-points 3 -scale 0.25 -seeds 1..2 all
 //	decentsim report -resources all    # + per-experiment Resources appendix
+//	decentsim report -html all         # + self-contained HTML siblings (index.html, ...)
+//	decentsim report -diff old-manifest.json -seeds 1..3 all   # exit nonzero on verdict flips
+//	decentsim report -diff SOAK_baseline.json -against SOAK_drift.json  # trend gate, no runs
+//	decentsim serve -addr :8080 -seeds 1..3 -scale 0.25 E01 E11  # living report over HTTP
 //	decentsim trace E06                # run once, write trace.json (chrome://tracing)
 //	decentsim trace -seed 3 -trace-limit 50000 -out e13.trace.json E13
 //	decentsim rep -n 5 -profile profiles E06   # per-run CPU/heap pprof files
@@ -34,6 +38,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -41,9 +46,13 @@ import (
 	"io"
 	"maps"
 	"math"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"slices"
 	"strings"
+	"syscall"
 	"time"
 
 	decent "repro"
@@ -78,6 +87,11 @@ type options struct {
 	profile    string
 	traceLimit int
 	shards     int
+
+	html    bool
+	diff    string
+	against string
+	addr    string
 }
 
 // knobFlags collects repeatable -set name=v1,v2 knob specifications.
@@ -125,7 +139,27 @@ func (o *options) register(fs *flag.FlagSet) {
 	fs.StringVar(&o.profile, "profile", o.profile, "sweep/rep/report: write per-run CPU and heap pprof profiles into this directory")
 	fs.IntVar(&o.traceLimit, "trace-limit", o.traceLimit, "trace: event buffer limit (default 100000; overflow is counted, not stored)")
 	fs.IntVar(&o.shards, "shards", o.shards, "intra-run worker goroutines for experiments on the sharded kernel (results are byte-identical at any value)")
+	fs.BoolVar(&o.html, "html", o.html, "report: also render every markdown page as a self-contained HTML sibling (index.html, experiments/<ID>.html)")
+	fs.StringVar(&o.diff, "diff", o.diff, "report: compare verdicts against this old manifest.json (or soak drift JSON); exits nonzero on verdict flips")
+	fs.StringVar(&o.against, "against", o.against, "report -diff: compare the -diff file against this file instead of generating a report")
+	fs.StringVar(&o.addr, "addr", o.addr, "serve: HTTP listen address (default :8080)")
 }
+
+// usage is the command summary printed when the subcommand line itself is
+// wrong (missing or unknown command); flag errors print the flag set's
+// own usage instead.
+const usage = `usage: decentsim [flags] <command> [flags] [ids]
+
+commands:
+  list                 show all experiments
+  run <ids|all>        run experiments once
+  sweep <ids|all>      multi-seed / multi-scale / multi-knob sweeps
+  rep <ids|all>        replicate over seeds and aggregate
+  report <ids|all>     render the reproduction report tree (-html, -diff)
+  serve [ids|all]      serve the living report over HTTP (-addr)
+  trace <id>           run once, write a Chrome trace
+
+run 'decentsim <command> -h' for that command's flags`
 
 func run(args []string, out io.Writer) error {
 	opts := options{seed: 1, scale: 1, reps: 10, out: "report", shards: 1}
@@ -136,7 +170,7 @@ func run(args []string, out io.Writer) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return errors.New("expected a command: list | run <ids|all> | sweep <ids|all> | rep <ids|all> | report <ids|all> | trace <id>")
+		return fmt.Errorf("expected a command\n%s", usage)
 	}
 	cmd, rest := rest[0], rest[1:]
 	// Subcommand flags: re-register over the already-parsed values so
@@ -165,6 +199,10 @@ func run(args []string, out io.Writer) error {
 			"resources":   "only the report subcommand renders the resources appendix",
 			"profile":     "only the sweep, rep, and report subcommands run on the profiled harness",
 			"trace-limit": "only the trace subcommand buffers an event trace",
+			"html":        "only the report and serve subcommands render HTML pages",
+			"diff":        "only the report subcommand compares manifests",
+			"against":     "only the report subcommand compares manifests",
+			"addr":        "only the serve subcommand listens on an address",
 		},
 		"sweep": {
 			"seed":        "use -seeds to choose sweep seeds",
@@ -175,6 +213,10 @@ func run(args []string, out io.Writer) error {
 			"drift":       "only the rep subcommand writes drift bounds",
 			"resources":   "only the report subcommand renders the resources appendix",
 			"trace-limit": "only the trace subcommand buffers an event trace",
+			"html":        "only the report and serve subcommands render HTML pages",
+			"diff":        "only the report subcommand compares manifests",
+			"against":     "only the report subcommand compares manifests",
+			"addr":        "only the serve subcommand listens on an address",
 		},
 		"rep": {
 			"seed":        "use -seeds or -n to choose replication seeds",
@@ -184,6 +226,10 @@ func run(args []string, out io.Writer) error {
 			"grid-points": "only the report subcommand sweeps knob grids",
 			"resources":   "only the report subcommand renders the resources appendix",
 			"trace-limit": "only the trace subcommand buffers an event trace",
+			"html":        "only the report and serve subcommands render HTML pages",
+			"diff":        "only the report subcommand compares manifests",
+			"against":     "only the report subcommand compares manifests",
+			"addr":        "only the serve subcommand listens on an address",
 		},
 		"report": {
 			"seed":        "use -seeds to choose the replication seeds",
@@ -194,6 +240,20 @@ func run(args []string, out io.Writer) error {
 			"set":         "the report documents baseline runs; use -sensitivity for knob grids, or sweep",
 			"drift":       "only the rep subcommand writes drift bounds",
 			"trace-limit": "only the trace subcommand buffers an event trace",
+			"addr":        "only the serve subcommand listens on an address",
+		},
+		"serve": {
+			"seed":        "serve scenarios replicate over -seeds",
+			"scales":      "the served default scenario runs one scale; use -scale",
+			"n":           "use -seeds to choose the replication seeds",
+			"csv":         "serve renders the HTML/markdown report tree",
+			"json":        "serve renders the HTML/markdown report tree",
+			"out":         "serve streams artifacts from memory; use the report subcommand to write a tree",
+			"drift":       "only the rep subcommand writes drift bounds",
+			"profile":     "only the sweep, rep, and report subcommands run on the profiled harness",
+			"trace-limit": "only the trace subcommand buffers an event trace",
+			"diff":        "only the report subcommand compares manifests",
+			"against":     "only the report subcommand compares manifests",
 		},
 		"trace": {
 			"seeds":       "trace records one run; use -seed",
@@ -208,6 +268,10 @@ func run(args []string, out io.Writer) error {
 			"resources":   "only the report subcommand renders the resources appendix",
 			"profile":     "only the sweep, rep, and report subcommands run on the profiled harness",
 			"shards":      "sharded runs do not register the transport instruments a trace records",
+			"html":        "only the report and serve subcommands render HTML pages",
+			"diff":        "only the report subcommand compares manifests",
+			"against":     "only the report subcommand compares manifests",
+			"addr":        "only the serve subcommand listens on an address",
 		},
 	}
 	if cmd == "list" && len(provided) > 0 {
@@ -229,6 +293,15 @@ func run(args []string, out io.Writer) error {
 	}
 	if provided["grid-points"] && !opts.sensitivity {
 		return errors.New("report: -grid-points needs -sensitivity")
+	}
+	if provided["against"] && !provided["diff"] {
+		return errors.New("report: -against needs -diff")
+	}
+	if provided["diff"] && (provided["out"] || opts.html || opts.sensitivity || opts.resources) {
+		return errors.New("report: -diff only compares verdicts; it writes no tree (drop -out/-html/-sensitivity/-resources)")
+	}
+	if cmd == "serve" && !provided["addr"] {
+		opts.addr = ":8080"
 	}
 	if provided["grid-points"] && opts.gridPoints < 1 {
 		return fmt.Errorf("report: -grid-points must be >= 1 (got %d)", opts.gridPoints)
@@ -275,10 +348,12 @@ func run(args []string, out io.Writer) error {
 		return sweepCmd(out, reg, &opts, ids, true)
 	case "report":
 		return reportCmd(out, reg, &opts, ids)
+	case "serve":
+		return serveCmd(out, reg, &opts, ids)
 	case "trace":
 		return traceCmd(out, reg, &opts, ids)
 	default:
-		return fmt.Errorf("unknown command %q (want list | run | sweep | rep | report | trace)", cmd)
+		return fmt.Errorf("unknown command %q\n%s", cmd, usage)
 	}
 }
 
@@ -433,6 +508,9 @@ func rejectMultiValueKnobs(cmd string, params map[string][]float64) error {
 // per experiment, SVG figures, hash manifest) under -out. Shape-check
 // outcomes live in the report; only run errors fail the command.
 func reportCmd(out io.Writer, reg *decent.Registry, opts *options, ids []string) error {
+	if opts.diff != "" {
+		return diffCmd(out, reg, opts, ids)
+	}
 	ids, err := expandIDs(reg, ids)
 	if err != nil {
 		return fmt.Errorf("report: %w", err)
@@ -446,6 +524,7 @@ func reportCmd(out io.Writer, reg *decent.Registry, opts *options, ids []string)
 		GridPoints:  opts.gridPoints,
 		Resources:   opts.resources,
 		ProfileDir:  opts.profile,
+		HTML:        opts.html,
 	}
 	if opts.profile != "" {
 		if err := os.MkdirAll(opts.profile, 0o755); err != nil {
@@ -469,6 +548,123 @@ func reportCmd(out io.Writer, reg *decent.Registry, opts *options, ids []string)
 	if tree.RunErrors > 0 {
 		return fmt.Errorf("report: %d run(s) errored (see the generated pages)", tree.RunErrors)
 	}
+	return nil
+}
+
+// diffCmd is `report -diff`: it compares an old manifest.json (or soak
+// drift JSON) against either a second file (-against, no experiments run)
+// or a freshly generated report's manifest, prints one line per verdict
+// flip / metric drift / scenario change, and fails exactly when a verdict
+// flipped (manifests) or a drift bound was breached (drift documents) —
+// the exit code is the trend gate.
+func diffCmd(out io.Writer, reg *decent.Registry, opts *options, ids []string) error {
+	if opts.against != "" && len(ids) > 0 {
+		return fmt.Errorf("report: -diff with -against compares two files; it takes no experiment ids (got %s)", strings.Join(ids, " "))
+	}
+	oldData, err := os.ReadFile(opts.diff)
+	if err != nil {
+		return fmt.Errorf("report: -diff: %w", err)
+	}
+	var newData []byte
+	if opts.against != "" {
+		if newData, err = os.ReadFile(opts.against); err != nil {
+			return fmt.Errorf("report: -against: %w", err)
+		}
+	} else {
+		ids, err := expandIDs(reg, ids)
+		if err != nil {
+			return fmt.Errorf("report: %w", err)
+		}
+		ropts := decent.ReportOptions{
+			IDs:     ids,
+			Scale:   opts.scale,
+			Workers: opts.parallel,
+			Shards:  opts.shards,
+		}
+		if opts.seeds != "" {
+			if ropts.Seeds, err = decent.ParseSeeds(opts.seeds); err != nil {
+				return err
+			}
+		}
+		tree, err := decent.GenerateReport(ropts)
+		if err != nil {
+			return err
+		}
+		newData = tree.Lookup("manifest.json")
+	}
+	d, err := decent.DiffDocs(oldData, newData)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, d.Render())
+	if d.Failing() {
+		if d.Kind == "drift" {
+			return fmt.Errorf("report: %d scenario(s) breached the drift envelope", len(d.Breaches))
+		}
+		return fmt.Errorf("report: %d claim verdict(s) flipped", len(d.Flips))
+	}
+	return nil
+}
+
+// serveCmd runs the living-report service: the report tree for the
+// selected scenario (default: every experiment, seeds 1..3, scale 1)
+// behind an HTTP API with scenario-hash caching. It blocks until
+// interrupted; SIGINT/SIGTERM drain in-flight requests before exit.
+func serveCmd(out io.Writer, reg *decent.Registry, opts *options, ids []string) error {
+	if len(ids) > 0 {
+		var err error
+		if ids, err = expandIDs(reg, ids); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+	}
+	if err := rejectMultiValueKnobs("serve", opts.set.params); err != nil {
+		return err
+	}
+	base := decent.ReportOptions{
+		IDs:         ids,
+		Scale:       opts.scale,
+		Workers:     opts.parallel,
+		Shards:      opts.shards,
+		Sensitivity: opts.sensitivity,
+		GridPoints:  opts.gridPoints,
+		Resources:   opts.resources,
+	}
+	var err error
+	if opts.seeds != "" {
+		if base.Seeds, err = decent.ParseSeeds(opts.seeds); err != nil {
+			return err
+		}
+	}
+	for name, vals := range opts.set.params {
+		if base.Params == nil {
+			base.Params = make(map[string]float64, len(opts.set.params))
+		}
+		base.Params[name] = vals[0]
+	}
+	srv, err := decent.NewServer(base, decent.NewCollector())
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	// Announce the resolved address (not the flag) so -addr :0 is usable.
+	fmt.Fprintf(out, "serve: listening on http://%s\n", ln.Addr())
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	done := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		httpSrv.Shutdown(context.Background())
+		close(done)
+	}()
+	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		return fmt.Errorf("serve: %w", err)
+	}
+	<-done
+	fmt.Fprintln(out, "serve: shut down")
 	return nil
 }
 

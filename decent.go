@@ -25,11 +25,19 @@
 //	}, 0) // 0 workers = GOMAXPROCS
 //	fmt.Println(rep)
 //
+// The reproduction report renders offline (GenerateReport, GenerateHTML)
+// or as a living HTTP service with scenario-hash caching (Serve).
+//
+// The re-exports below are grouped by layer: kernel, transport,
+// telemetry, experiments, harness, report, and serve.
+//
 // See DESIGN.md for the experiment index and EXPERIMENTS.md for measured
 // results.
 package decent
 
 import (
+	"context"
+	"net/http"
 	"time"
 
 	"repro/internal/core"
@@ -38,49 +46,15 @@ import (
 	"repro/internal/netmodel"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/serve"
 	"repro/internal/sim"
 )
 
-// Config controls an experiment run. It is re-exported from the core
-// framework: Seed pins determinism, Scale trades fidelity for speed, and
-// Params carries named per-experiment knobs for sweeps.
-type Config = core.Config
-
-// Result is an experiment outcome: regenerated tables/figures plus shape
-// checks.
-type Result = core.Result
-
-// Experiment is one reproducible paper claim.
-type Experiment = core.Experiment
-
-// Registry holds the paper's experiments.
-type Registry = core.Registry
-
-// MaxSeeds bounds how many seeds one sweep or replication may expand to.
-const MaxSeeds = harness.MaxSeeds
-
-// Sweep is a grid of experiment runs: experiment ids × seeds × scales ×
-// named knobs. Expand it with Jobs and run it with RunParallel, or use
-// RunSweep for the whole pipeline.
-type Sweep = harness.Sweep
-
-// Job is one experiment execution within a sweep.
-type Job = harness.Job
-
-// JobResult pairs a job with its outcome.
-type JobResult = harness.JobResult
-
-// Report is an aggregated sweep: per-scenario mean/stddev/95%-CI metrics
-// and majority-vote shape verdicts, exportable as JSON or CSV.
-type Report = harness.Report
-
-// Runner is the harness worker pool for custom registries.
-type Runner = harness.Runner
-
-// Transport re-exports — the unified WAN layer every substrate's message
-// delivery rides on. Library users compose custom scenarios the same way
-// the experiments do: build a Sim, attach a Transport, realize a
-// TransportTopology, and schedule condition windows on it.
+// ---------------------------------------------------------------------------
+// Kernel — the deterministic discrete-event simulators every experiment
+// runs on: the sequential Sim and the conservatively parallel ShardedSim
+// (byte-identical results at any worker count).
+// ---------------------------------------------------------------------------
 
 // Sim is the deterministic discrete-event kernel.
 type Sim = sim.Sim
@@ -89,6 +63,48 @@ type Sim = sim.Sim
 func NewSim(seed int64) *Sim {
 	return sim.New(sim.WithSeed(seed))
 }
+
+// NewObservedSim builds a simulator with a telemetry collector attached:
+// the kernel reports event and queue statistics to it, and transports
+// built on the sim auto-register their instruments.
+func NewObservedSim(seed int64, col *Collector) *Sim {
+	return sim.New(sim.WithSeed(seed), sim.WithObserver(col))
+}
+
+// ShardedSim is the conservatively parallel discrete-event kernel: a
+// fixed set of per-shard Sim queues advancing in lockstep windows bounded
+// by the minimum cross-shard delivery delay; cross-shard messages land
+// through a mailbox merged deterministically at every window barrier, so
+// results are byte-identical at any worker count.
+type ShardedSim = sim.ShardedSim
+
+// ShardedSimOption configures a ShardedSim.
+type ShardedSimOption = sim.ShardedOption
+
+// WithShardSeed, WithShardWorkers, and WithShardObserver are the
+// ShardedSim constructor options: master seed (per-shard streams derive
+// from it), worker goroutine count (an execution knob — results are
+// identical at every value), and telemetry collector.
+var (
+	WithShardSeed     = sim.WithShardSeed
+	WithShardWorkers  = sim.WithShardWorkers
+	WithShardObserver = sim.WithShardObserver
+)
+
+// NewShardedSim builds a sharded kernel with the given shard count and
+// conservative window. The window must not exceed the minimum cross-shard
+// delivery delay of whatever model schedules cross-shard events — for a
+// Transport, TransportDelayFloor computes that bound.
+func NewShardedSim(shards int, window time.Duration, opts ...ShardedSimOption) (*ShardedSim, error) {
+	return sim.NewSharded(shards, window, opts...)
+}
+
+// ---------------------------------------------------------------------------
+// Transport — the unified WAN layer every substrate's message delivery
+// rides on. Library users compose custom scenarios the same way the
+// experiments do: build a Sim, attach a Transport, realize a
+// TransportTopology, and schedule condition windows on it.
+// ---------------------------------------------------------------------------
 
 // Transport is the simulated wide-area network: regional latencies,
 // asymmetric access bandwidth, loss, partitions, and scheduled condition
@@ -107,6 +123,23 @@ var (
 // NewTransport attaches a WAN model to the simulator.
 func NewTransport(s *Sim, opts ...TransportOption) *Transport {
 	return netmodel.New(s, opts...)
+}
+
+// NewShardedTransport attaches a WAN model that spans a sharded kernel:
+// nodes are assigned to shards round-robin, deliveries are scheduled on
+// the receiving node's shard, and RNG draws come from the sender's shard
+// stream. Condition windows and telemetry instruments are not supported
+// on a sharded Transport; see the netmodel package docs.
+func NewShardedTransport(ss *ShardedSim, opts ...TransportOption) *Transport {
+	return netmodel.NewSharded(ss, opts...)
+}
+
+// TransportDelayFloor returns the minimum one-way delivery delay a
+// Transport with the given jitter fraction can draw between the listed
+// regions — the largest safe conservative window for a ShardedSim whose
+// cross-shard traffic rides that Transport.
+func TransportDelayFloor(jitter float64, regions ...Region) time.Duration {
+	return netmodel.DelayFloor(jitter, regions...)
 }
 
 // Region is a coarse geographic location on the Transport.
@@ -149,62 +182,14 @@ const (
 	TransportPacing     = netmodel.DefaultPacing
 )
 
-// Sharded-kernel re-exports — the conservatively parallel event kernel.
-// A ShardedSim partitions one simulation into per-shard event queues that
-// execute concurrently inside time windows bounded by the minimum
-// cross-shard delivery delay; cross-shard messages land through a mailbox
-// merged deterministically at every window barrier, so results are
-// byte-identical at any worker count.
-
-// ShardedSim is the conservatively parallel discrete-event kernel: a
-// fixed set of per-shard Sim queues advancing in lockstep windows.
-type ShardedSim = sim.ShardedSim
-
-// ShardedSimOption configures a ShardedSim.
-type ShardedSimOption = sim.ShardedOption
-
-// WithShardSeed, WithShardWorkers, and WithShardObserver are the
-// ShardedSim constructor options: master seed (per-shard streams derive
-// from it), worker goroutine count (an execution knob — results are
-// identical at every value), and telemetry collector.
-var (
-	WithShardSeed     = sim.WithShardSeed
-	WithShardWorkers  = sim.WithShardWorkers
-	WithShardObserver = sim.WithShardObserver
-)
-
-// NewShardedSim builds a sharded kernel with the given shard count and
-// conservative window. The window must not exceed the minimum cross-shard
-// delivery delay of whatever model schedules cross-shard events — for a
-// Transport, TransportDelayFloor computes that bound.
-func NewShardedSim(shards int, window time.Duration, opts ...ShardedSimOption) (*ShardedSim, error) {
-	return sim.NewSharded(shards, window, opts...)
-}
-
-// NewShardedTransport attaches a WAN model that spans a sharded kernel:
-// nodes are assigned to shards round-robin, deliveries are scheduled on
-// the receiving node's shard, and RNG draws come from the sender's shard
-// stream. Condition windows and telemetry instruments are not supported
-// on a sharded Transport; see the netmodel package docs.
-func NewShardedTransport(ss *ShardedSim, opts ...TransportOption) *Transport {
-	return netmodel.NewSharded(ss, opts...)
-}
-
-// TransportDelayFloor returns the minimum one-way delivery delay a
-// Transport with the given jitter fraction can draw between the listed
-// regions — the largest safe conservative window for a ShardedSim whose
-// cross-shard traffic rides that Transport.
-func TransportDelayFloor(jitter float64, regions ...Region) time.Duration {
-	return netmodel.DelayFloor(jitter, regions...)
-}
-
-// Telemetry re-exports — the zero-cost-when-off run-telemetry layer.
-// Attach a Collector to a run (Config.Obs, or NewObservedSim for custom
-// scenarios) and the kernel plus every instrumented subsystem record
-// counters, streaming latency histograms, and optionally a Chrome
-// trace-event log into it. A nil Collector is the off switch: every
-// recording call is a nil-receiver no-op and the hot paths stay
-// allocation-free.
+// ---------------------------------------------------------------------------
+// Telemetry — the zero-cost-when-off run-telemetry layer. Attach a
+// Collector to a run (Config.Obs, or NewObservedSim for custom scenarios)
+// and the kernel plus every instrumented subsystem record counters,
+// streaming latency histograms, and optionally a Chrome trace-event log
+// into it. A nil Collector is the off switch: every recording call is a
+// nil-receiver no-op and the hot paths stay allocation-free.
+// ---------------------------------------------------------------------------
 
 // Collector gathers one run's telemetry: named counters and gauges,
 // constant-memory streaming histograms, kernel statistics, and an
@@ -242,16 +227,45 @@ type Trace = obs.Trace
 // report's volatile resources/host.json, never on deterministic output.
 type HostSample = obs.HostSample
 
-// NewObservedSim builds a simulator with a telemetry collector attached:
-// the kernel reports event and queue statistics to it, and transports
-// built on the sim auto-register their instruments.
-func NewObservedSim(seed int64, col *Collector) *Sim {
-	return sim.New(sim.WithSeed(seed), sim.WithObserver(col))
-}
+// ---------------------------------------------------------------------------
+// Experiments — the paper's claims as runnable, knob-parameterized
+// reproductions (E01–E19), resolved through a registry.
+// ---------------------------------------------------------------------------
+
+// Config controls an experiment run. It is re-exported from the core
+// framework: Seed pins determinism, Scale trades fidelity for speed, and
+// Params carries named per-experiment knobs for sweeps.
+type Config = core.Config
+
+// Result is an experiment outcome: regenerated tables/figures plus shape
+// checks.
+type Result = core.Result
+
+// Experiment is one reproducible paper claim.
+type Experiment = core.Experiment
+
+// Registry holds the paper's experiments.
+type Registry = core.Registry
 
 // Experiments returns the full registry (E01–E19) in paper order.
 func Experiments() (*Registry, error) {
 	return experiments.Registry()
+}
+
+// Run executes a single experiment by id with the given configuration.
+func Run(id string, cfg Config) (*Result, error) {
+	reg, err := experiments.Registry()
+	if err != nil {
+		return nil, err
+	}
+	return reg.Run(id, cfg)
+}
+
+// SectionOf returns the paper section an experiment's claim belongs to
+// (e.g. "§III-C P2") — the axis the reproduction report's traceability
+// matrix is grouped on.
+func SectionOf(e Experiment) string {
+	return core.SectionOf(e)
 }
 
 // Knobs lists the sweepable per-experiment knobs (name -> description).
@@ -289,41 +303,68 @@ func SensitivityGrids(points int, scale float64) map[string][]float64 {
 	return experiments.SensitivityGrids(points, scale)
 }
 
-// ScenarioKey renders the canonical identity replications aggregate on
-// (experiment id + scale + knob assignment); it equals Group.Key for the
-// group those runs merge into, so sweep output can be indexed by the
-// scenarios that were submitted.
-func ScenarioKey(experimentID string, scale float64, params map[string]float64) string {
-	return harness.ScenarioKey(experimentID, scale, params)
-}
+// ---------------------------------------------------------------------------
+// Harness — the worker-pool execution layer: sweep grids (ids × seeds ×
+// scales × knobs), parallel execution with optional cancellation, and
+// multi-seed aggregation into verdict reports.
+// ---------------------------------------------------------------------------
 
-// Run executes a single experiment by id with the given configuration.
-func Run(id string, cfg Config) (*Result, error) {
-	reg, err := experiments.Registry()
-	if err != nil {
-		return nil, err
-	}
-	return reg.Run(id, cfg)
-}
+// MaxSeeds bounds how many seeds one sweep or replication may expand to.
+const MaxSeeds = harness.MaxSeeds
+
+// Sweep is a grid of experiment runs: experiment ids × seeds × scales ×
+// named knobs. Expand it with Jobs and run it with RunParallel, or use
+// RunSweep for the whole pipeline.
+type Sweep = harness.Sweep
+
+// Job is one experiment execution within a sweep.
+type Job = harness.Job
+
+// JobResult pairs a job with its outcome.
+type JobResult = harness.JobResult
+
+// Report is an aggregated sweep: per-scenario mean/stddev/95%-CI metrics
+// and majority-vote shape verdicts, exportable as JSON or CSV.
+type Report = harness.Report
+
+// Runner is the harness worker pool for custom registries. Run executes
+// uncancellably; RunContext checks its context between jobs.
+type Runner = harness.Runner
 
 // RunParallel executes jobs against the paper registry on a worker pool
 // (workers <= 0 means GOMAXPROCS) and returns results in job order.
 func RunParallel(jobs []Job, workers int) ([]JobResult, error) {
+	return RunParallelContext(context.Background(), jobs, workers)
+}
+
+// RunParallelContext is RunParallel with cancellation: once ctx is done,
+// jobs that have not started yet complete immediately with ctx's error as
+// their JobResult.Err while in-flight jobs finish, so the returned slice
+// always has one entry per job.
+func RunParallelContext(ctx context.Context, jobs []Job, workers int) ([]JobResult, error) {
 	reg, err := experiments.Registry()
 	if err != nil {
 		return nil, err
 	}
-	return harness.RunParallel(reg, jobs, workers), nil
+	return harness.RunParallelContext(ctx, reg, jobs, workers), nil
 }
 
 // RunSweep validates and expands the sweep, runs it in parallel, and
 // aggregates the replications into a Report. The same sweep produces a
 // byte-identical Report.JSON() at any worker count.
 func RunSweep(s Sweep, workers int) (*Report, error) {
+	return RunSweepContext(context.Background(), s, workers)
+}
+
+// RunSweepContext is RunSweep with cancellation: replications not yet
+// started when ctx ends surface as run errors in the aggregate (the
+// report service uses this to abandon sweeps whose requesters have gone
+// away).
+func RunSweepContext(ctx context.Context, s Sweep, workers int) (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	results, err := RunParallel(s.Jobs(), workers)
+	results, err := RunParallelContext(ctx, s.Jobs(), workers)
 	if err != nil {
 		return nil, err
 	}
@@ -345,35 +386,13 @@ func AggregateView(results []JobResult) []GroupView {
 	return harness.AggregateView(results)
 }
 
-// SectionOf returns the paper section an experiment's claim belongs to
-// (e.g. "§III-C P2") — the axis the reproduction report's traceability
-// matrix is grouped on.
-func SectionOf(e Experiment) string {
-	return core.SectionOf(e)
-}
-
-// ReportOptions configures reproduction-report generation: experiment
-// ids, replication seeds, workload scale, and harness worker count (the
-// latter never affects the generated bytes).
-type ReportOptions = report.Options
-
-// ReportTree is a generated reproduction report: a deterministic document
-// tree (REPORT.md, per-experiment pages, SVG figures, manifest.json with
-// content hashes) plus summary counters.
-type ReportTree = report.Tree
-
-// ReportFile is one artifact of a ReportTree.
-type ReportFile = report.File
-
-// GenerateReport runs the selected experiments across the seed set on the
-// harness worker pool and renders the reproduction report. Equal options
-// produce byte-identical trees at any worker count.
-func GenerateReport(opts ReportOptions) (*ReportTree, error) {
-	reg, err := experiments.Registry()
-	if err != nil {
-		return nil, err
-	}
-	return report.Generate(reg, opts)
+// ScenarioKey renders the canonical identity replications aggregate on
+// (experiment id + scale + knob assignment); it equals Group.Key for the
+// group those runs merge into, so sweep output can be indexed by the
+// scenarios that were submitted. The report manifest's claims and the
+// report service's cache carry these same keys.
+func ScenarioKey(experimentID string, scale float64, params map[string]float64) string {
+	return harness.ScenarioKey(experimentID, scale, params)
 }
 
 // ParseSeeds parses a seed list specification such as "1..10" or "1,3,9".
@@ -390,4 +409,114 @@ func ParseScales(spec string) ([]float64, error) {
 // ParseParam parses one knob specification "name=v1,v2,...".
 func ParseParam(spec string) (string, []float64, error) {
 	return harness.ParseParam(spec)
+}
+
+// ---------------------------------------------------------------------------
+// Report — the claim-traceability document tree: markdown and HTML
+// renderings, SVG figures, the SHA-256 manifest with per-claim verdicts,
+// and the manifest comparator behind `report -diff`.
+// ---------------------------------------------------------------------------
+
+// ReportOptions configures reproduction-report generation: experiment
+// ids, replication seeds, workload scale, knob pins, layer toggles
+// (HTML, Sensitivity, Resources), and harness worker count (the latter
+// never affects the generated bytes).
+type ReportOptions = report.Options
+
+// ReportTree is a generated reproduction report: a deterministic document
+// tree (REPORT.md, per-experiment pages, SVG figures, manifest.json with
+// content hashes and per-claim verdicts) plus summary counters. Walk and
+// Open stream artifacts in memory; WriteDir materializes the tree.
+type ReportTree = report.Tree
+
+// ReportFile is one artifact of a ReportTree.
+type ReportFile = report.File
+
+// Manifest is the parsed form of a report tree's manifest.json: the
+// scenario identity, one verdict record per claim, and every artifact by
+// content hash.
+type Manifest = report.Manifest
+
+// ManifestClaim is one scenario's verdict record within a Manifest.
+type ManifestClaim = report.ManifestClaim
+
+// ParseManifest decodes a manifest.json previously written by report
+// generation.
+func ParseManifest(data []byte) (*Manifest, error) {
+	return report.ParseManifest(data)
+}
+
+// GenerateReport runs the selected experiments across the seed set on the
+// harness worker pool and renders the reproduction report. Equal options
+// produce byte-identical trees at any worker count.
+func GenerateReport(opts ReportOptions) (*ReportTree, error) {
+	return GenerateReportContext(context.Background(), opts)
+}
+
+// GenerateReportContext is GenerateReport with cancellation: once ctx is
+// done, replications that have not started yet are skipped and generation
+// returns ctx's error instead of a partial tree.
+func GenerateReportContext(ctx context.Context, opts ReportOptions) (*ReportTree, error) {
+	reg, err := experiments.Registry()
+	if err != nil {
+		return nil, err
+	}
+	return report.GenerateContext(ctx, reg, opts)
+}
+
+// GenerateHTML is GenerateReport with the HTML layer forced on: every
+// markdown page gains a self-contained HTML sibling (index.html,
+// experiments/<ID>.html — inline CSS, no JS), all manifest-indexed and
+// byte-deterministic.
+func GenerateHTML(opts ReportOptions) (*ReportTree, error) {
+	opts.HTML = true
+	return GenerateReport(opts)
+}
+
+// ReportDiff is the outcome of comparing two manifests (verdict flips,
+// metric drifts, scenario set changes) or two soak drift documents
+// (envelope breaches). Failing reports whether a gate should fail:
+// verdict flips and envelope breaches fail; drift is informational.
+type ReportDiff = report.Diff
+
+// DiffDocs compares two serialized documents, auto-detecting their kind:
+// report manifests are compared claim by claim, nightly-soak drift
+// documents bound by bound. This is the comparator behind
+// `decentsim report -diff`.
+func DiffDocs(oldData, newData []byte) (*ReportDiff, error) {
+	return report.DiffDocs(oldData, newData)
+}
+
+// ---------------------------------------------------------------------------
+// Serve — the living-report service: the report tree behind an HTTP API,
+// executed on demand through the harness with scenario-hash caching and
+// singleflight collapse, observable through the obs telemetry layer.
+// ---------------------------------------------------------------------------
+
+// ReportServer executes report scenarios on demand and caches their trees
+// by scenario hash; Handler exposes /report, /experiments/{id}, /run, and
+// the /healthz and /statz probes.
+type ReportServer = serve.Server
+
+// NewServer builds a report server over the paper registry. base is the
+// default scenario for /report and /experiments/{id} (HTML rendering is
+// forced on); col may be nil to run without telemetry.
+func NewServer(base ReportOptions, col *Collector) (*ReportServer, error) {
+	reg, err := experiments.Registry()
+	if err != nil {
+		return nil, err
+	}
+	return serve.New(reg, base, col), nil
+}
+
+// Serve runs the living-report service on addr (e.g. ":8080") until the
+// listener fails. It is the blocking convenience entry point; for
+// graceful shutdown or a chosen listener, mount NewServer().Handler() on
+// your own http.Server.
+func Serve(addr string, base ReportOptions) error {
+	s, err := NewServer(base, NewCollector())
+	if err != nil {
+		return err
+	}
+	return http.ListenAndServe(addr, s.Handler())
 }

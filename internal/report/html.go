@@ -1,0 +1,305 @@
+package report
+
+import (
+	"fmt"
+	"html"
+	"path"
+	"strings"
+)
+
+// html.go is the report tree's second render target: every generated
+// markdown page gains a self-contained HTML sibling (inline CSS, the
+// existing SVG figures by reference, no JavaScript). The converter
+// handles exactly the markdown subset the renderers in this package
+// emit — ATX headings, **bold**, *em*, whole-line _em_, `code`, links,
+// images, pipe tables, "- " lists, and --- rules — and is a pure
+// function of the page bytes, so the HTML layer inherits the markdown
+// tree's byte-determinism and rides the same manifest hashes.
+
+// pageCSS is the fixed inline stylesheet of every HTML page; its bytes
+// are part of the determinism contract.
+const pageCSS = `:root { color-scheme: light; }
+body { margin: 0; background: #f6f7f9; color: #1f2430;
+  font: 16px/1.55 system-ui, -apple-system, "Segoe UI", sans-serif; }
+main { max-width: 72rem; margin: 0 auto; padding: 2rem 1.5rem 4rem;
+  background: #ffffff; min-height: 100vh; box-sizing: border-box; }
+h1 { font-size: 1.6rem; line-height: 1.3; border-bottom: 2px solid #e3e6eb;
+  padding-bottom: .5rem; }
+h2 { font-size: 1.25rem; margin-top: 2rem; }
+h3 { font-size: 1.05rem; margin-top: 1.5rem; }
+a { color: #0b5cad; text-decoration: none; }
+a:hover { text-decoration: underline; }
+code { background: #eef1f5; border-radius: 3px; padding: .1em .35em;
+  font: .92em ui-monospace, "SF Mono", Consolas, monospace; }
+table { border-collapse: collapse; margin: 1rem 0; display: block;
+  overflow-x: auto; max-width: 100%; }
+th, td { border: 1px solid #d6dae2; padding: .35rem .6rem;
+  text-align: left; white-space: nowrap; }
+th { background: #eef1f5; }
+tr:nth-child(even) td { background: #fafbfc; }
+img { max-width: 100%; height: auto; border: 1px solid #e3e6eb;
+  border-radius: 4px; margin: .5rem 0; }
+hr { border: none; border-top: 1px solid #e3e6eb; margin: 2rem 0; }
+ul { padding-left: 1.4rem; }
+`
+
+// htmlFiles renders the HTML sibling of every markdown file in the tree:
+// REPORT.md becomes index.html, experiments/<ID>.md becomes
+// experiments/<ID>.html. Call it before the manifest is computed so the
+// HTML artifacts are content-hashed like everything else.
+func htmlFiles(files []File) []File {
+	var out []File
+	for _, f := range files {
+		if !strings.HasSuffix(f.Path, ".md") {
+			continue
+		}
+		out = append(out, File{
+			Path: htmlPath(f.Path),
+			Data: []byte(renderHTMLPage(string(f.Data))),
+		})
+	}
+	return out
+}
+
+// htmlPath maps a markdown artifact path to its HTML sibling. The index
+// page takes the conventional name browsers and servers default to.
+func htmlPath(mdPath string) string {
+	dir, base := path.Split(mdPath)
+	if base == "REPORT.md" {
+		return dir + "index.html"
+	}
+	return strings.TrimSuffix(mdPath, ".md") + ".html"
+}
+
+// rewriteHref retargets intra-tree markdown links at their HTML siblings
+// so the rendered pages navigate within the HTML layer. External links
+// and non-markdown artifacts (manifest.json, figures) pass through.
+func rewriteHref(href string) string {
+	if strings.Contains(href, "://") || !strings.HasSuffix(href, ".md") {
+		return href
+	}
+	return htmlPath(href)
+}
+
+// renderHTMLPage wraps a converted markdown document in the fixed page
+// skeleton: charset and viewport metas, the page's first heading as the
+// title, and the inline stylesheet.
+func renderHTMLPage(md string) string {
+	body, title := mdBody(md)
+	var b strings.Builder
+	b.WriteString("<!doctype html>\n<html lang=\"en\">\n<head>\n")
+	b.WriteString("<meta charset=\"utf-8\">\n")
+	b.WriteString("<meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(title))
+	b.WriteString("<style>\n" + pageCSS + "</style>\n</head>\n<body>\n<main>\n")
+	b.WriteString(body)
+	b.WriteString("</main>\n</body>\n</html>\n")
+	return b.String()
+}
+
+// mdBody converts the supported markdown subset to HTML block by block
+// and extracts the document title from the first level-1 heading.
+func mdBody(md string) (body, title string) {
+	lines := strings.Split(md, "\n")
+	var b strings.Builder
+	title = "decentsim report"
+	sawTitle := false
+	for i := 0; i < len(lines); {
+		line := strings.TrimRight(lines[i], " \t")
+		switch {
+		case line == "":
+			i++
+		case line == "---":
+			b.WriteString("<hr>\n")
+			i++
+		case strings.HasPrefix(line, "#"):
+			level := 0
+			for level < len(line) && line[level] == '#' && level < 6 {
+				level++
+			}
+			text := strings.TrimSpace(line[level:])
+			if level == 1 && !sawTitle {
+				title = plainText(text)
+				sawTitle = true
+			}
+			fmt.Fprintf(&b, "<h%d>%s</h%d>\n", level, renderInline(html.EscapeString(text)), level)
+			i++
+		case strings.HasPrefix(line, "|"):
+			i = renderTable(&b, lines, i)
+		case strings.HasPrefix(line, "- "):
+			b.WriteString("<ul>\n")
+			for i < len(lines) && strings.HasPrefix(lines[i], "- ") {
+				fmt.Fprintf(&b, "<li>%s</li>\n", renderInline(html.EscapeString(lines[i][2:])))
+				i++
+			}
+			b.WriteString("</ul>\n")
+		case len(line) > 2 && strings.HasPrefix(line, "_") && strings.HasSuffix(line, "_"):
+			// Whole-line underscore emphasis; underscores are never
+			// emphasis inline (metric names like delivery_delay_ns
+			// contain them as literals).
+			fmt.Fprintf(&b, "<p><em>%s</em></p>\n", renderInline(html.EscapeString(line[1:len(line)-1])))
+			i++
+		default:
+			var para []string
+			for i < len(lines) {
+				l := strings.TrimRight(lines[i], " \t")
+				if l == "" || l == "---" || strings.HasPrefix(l, "#") ||
+					strings.HasPrefix(l, "|") || strings.HasPrefix(l, "- ") {
+					break
+				}
+				para = append(para, renderInline(html.EscapeString(l)))
+				i++
+			}
+			fmt.Fprintf(&b, "<p>%s</p>\n", strings.Join(para, "\n"))
+		}
+	}
+	return b.String(), title
+}
+
+// renderTable converts a run of consecutive pipe-table lines starting at
+// lines[start] and returns the index of the first line after the table.
+// The second row is the header separator when it is all dashes.
+func renderTable(b *strings.Builder, lines []string, start int) int {
+	i := start
+	var rows [][]string
+	for i < len(lines) && strings.HasPrefix(strings.TrimRight(lines[i], " \t"), "|") {
+		rows = append(rows, splitTableRow(strings.TrimRight(lines[i], " \t")))
+		i++
+	}
+	header := len(rows) >= 2 && isSeparatorRow(rows[1])
+	b.WriteString("<table>\n")
+	for ri, row := range rows {
+		if header && ri == 1 {
+			continue
+		}
+		tag := "td"
+		if header && ri == 0 {
+			tag = "th"
+		}
+		b.WriteString("<tr>")
+		for _, cell := range row {
+			fmt.Fprintf(b, "<%s>%s</%s>", tag, renderInline(html.EscapeString(cell)), tag)
+		}
+		b.WriteString("</tr>\n")
+	}
+	b.WriteString("</table>\n")
+	return i
+}
+
+// splitTableRow splits one "| a | b |" line into trimmed cells,
+// honouring the \| escape mdCell emits for literal pipes.
+func splitTableRow(line string) []string {
+	line = strings.Trim(line, "|")
+	var cells []string
+	var cur strings.Builder
+	for j := 0; j < len(line); j++ {
+		switch {
+		case line[j] == '\\' && j+1 < len(line) && line[j+1] == '|':
+			cur.WriteByte('|')
+			j++
+		case line[j] == '|':
+			cells = append(cells, strings.TrimSpace(cur.String()))
+			cur.Reset()
+		default:
+			cur.WriteByte(line[j])
+		}
+	}
+	cells = append(cells, strings.TrimSpace(cur.String()))
+	return cells
+}
+
+// isSeparatorRow reports whether every cell is a markdown header
+// separator (dashes with optional alignment colons).
+func isSeparatorRow(cells []string) bool {
+	for _, c := range cells {
+		if c == "" {
+			return false
+		}
+		for _, r := range strings.TrimSuffix(strings.TrimPrefix(c, ":"), ":") {
+			if r != '-' {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// renderInline converts inline markdown (images, links, **bold**, *em*,
+// `code`) inside already-HTML-escaped text. Escaping first is safe: the
+// escape never produces marker characters, and the markers themselves
+// are ASCII the escape leaves alone.
+func renderInline(esc string) string {
+	var b strings.Builder
+	for i := 0; i < len(esc); {
+		switch {
+		case strings.HasPrefix(esc[i:], "!["):
+			if text, target, n, ok := parseLink(esc[i+1:]); ok {
+				fmt.Fprintf(&b, "<img src=%q alt=%q>", rewriteHref(target), text)
+				i += 1 + n
+				continue
+			}
+			b.WriteByte(esc[i])
+			i++
+		case esc[i] == '[':
+			if text, target, n, ok := parseLink(esc[i:]); ok {
+				fmt.Fprintf(&b, "<a href=%q>%s</a>", rewriteHref(target), renderInline(text))
+				i += n
+				continue
+			}
+			b.WriteByte(esc[i])
+			i++
+		case strings.HasPrefix(esc[i:], "**"):
+			if j := strings.Index(esc[i+2:], "**"); j >= 0 {
+				fmt.Fprintf(&b, "<strong>%s</strong>", renderInline(esc[i+2:i+2+j]))
+				i += j + 4
+				continue
+			}
+			b.WriteString("**")
+			i += 2
+		case esc[i] == '*':
+			if j := strings.IndexByte(esc[i+1:], '*'); j > 0 {
+				fmt.Fprintf(&b, "<em>%s</em>", renderInline(esc[i+1:i+1+j]))
+				i += j + 2
+				continue
+			}
+			b.WriteByte(esc[i])
+			i++
+		case esc[i] == '`':
+			if j := strings.IndexByte(esc[i+1:], '`'); j >= 0 {
+				fmt.Fprintf(&b, "<code>%s</code>", esc[i+1:i+1+j])
+				i += j + 2
+				continue
+			}
+			b.WriteByte(esc[i])
+			i++
+		default:
+			b.WriteByte(esc[i])
+			i++
+		}
+	}
+	return b.String()
+}
+
+// parseLink parses "[text](target)" at the start of s, returning the
+// consumed byte count. Targets our renderers emit never contain
+// parentheses or brackets, so first-match scanning is exact.
+func parseLink(s string) (text, target string, n int, ok bool) {
+	if len(s) == 0 || s[0] != '[' {
+		return "", "", 0, false
+	}
+	close := strings.IndexByte(s, ']')
+	if close < 0 || close+1 >= len(s) || s[close+1] != '(' {
+		return "", "", 0, false
+	}
+	end := strings.IndexByte(s[close+2:], ')')
+	if end < 0 {
+		return "", "", 0, false
+	}
+	return s[1:close], s[close+2 : close+2+end], close + 2 + end + 1, true
+}
+
+// plainText strips inline markers for use in contexts that take no
+// markup (the <title> element).
+func plainText(s string) string {
+	return strings.NewReplacer("**", "", "*", "", "`", "", "_", " ").Replace(s)
+}

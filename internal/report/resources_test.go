@@ -72,7 +72,7 @@ func TestResourcesAppendix(t *testing.T) {
 	// everything else hashed.
 	var man struct {
 		Resources bool           `json:"resources"`
-		Files     []manifestFile `json:"files"`
+		Files     []ManifestFile `json:"files"`
 	}
 	if err := json.Unmarshal(tree.Lookup("manifest.json"), &man); err != nil {
 		t.Fatalf("manifest: %v", err)
